@@ -1,0 +1,28 @@
+# Convenience targets for the Eugene reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples experiments clean
+
+install:
+	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/smart_campus.py
+	$(PYTHON) examples/edge_caching.py
+	$(PYTHON) examples/sensor_fusion.py
+	$(PYTHON) examples/utility_scheduling.py
+
+experiments:
+	$(PYTHON) -m repro.cli all
+
+clean:
+	rm -rf .bench_cache bench_results .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

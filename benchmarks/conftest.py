@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_*`` module regenerates one table or figure of the paper.  The
+trained benchmark model is built once (and disk-cached under
+``.bench_cache/``); per-experiment outputs are printed to stdout (run with
+``-s`` to see them live) *and* written to ``bench_results/<name>.txt`` so a
+plain ``pytest benchmarks/ --benchmark-only`` leaves the full experiment
+record on disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import get_benchmark_artifacts
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
+
+
+@pytest.fixture(scope="session")
+def artifacts():
+    """The trained + calibrated benchmark model and its outputs."""
+    return get_benchmark_artifacts()
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Write an experiment's formatted output to bench_results/ and stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{'=' * 70}\n{name}\n{'=' * 70}\n{text}")
+
+    return _record

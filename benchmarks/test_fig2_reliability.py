@@ -1,0 +1,21 @@
+"""E2 — regenerate Fig. 2: reliability diagrams before/after calibration."""
+
+import pytest
+
+from repro.experiments.fig2 import format_fig2, run_fig2
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_reliability_diagrams(benchmark, artifacts, record_result):
+    diagrams = benchmark.pedantic(
+        run_fig2, args=(artifacts,), rounds=1, iterations=1
+    )
+    record_result("fig2_reliability", format_fig2(diagrams))
+
+    uncal = diagrams["uncalibrated"]
+    cal = diagrams["calibrated"]
+    # Calibration moves the diagram toward the diagonal: lower ECE.
+    assert cal.ece() < uncal.ece()
+    # And the calibrated diagram's populated bins hug the diagonal.
+    populated = cal.counts > 20
+    assert (abs(cal.accuracy[populated] - cal.centers[populated]) < 0.25).all()

@@ -1,0 +1,39 @@
+"""E5 — regenerate Fig. 4: scheduling scalability sweep."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig4 import Fig4Config, format_fig4, run_fig4
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_scheduling_scalability(benchmark, artifacts, record_result):
+    curves = benchmark.pedantic(
+        run_fig4, args=(artifacts,), rounds=1, iterations=1
+    )
+    record_result("fig4_scheduling", format_fig4(curves))
+
+    def mean_at(policy, concurrency):
+        curve = curves[policy]
+        return curve.mean_accuracy[curve.concurrency.index(concurrency)]
+
+    def fairness_at(policy, concurrency):
+        curve = curves[policy]
+        return curve.fairness_std[curve.concurrency.index(concurrency)]
+
+    # Fig 4a: RTDeepIoT dominates RR at high concurrency.
+    for k in (1, 2, 3):
+        assert mean_at(f"RTDeepIoT-{k}", 20) > mean_at("RR", 20)
+    # Fig 4b: dynamic confidence updates beat the DC simplification, and all
+    # RTDeepIoT variants beat FIFO under load.
+    assert mean_at("RTDeepIoT-1", 20) >= mean_at("RTDeepIoT-DC-1", 20)
+    for name in ("RTDeepIoT-1", "RTDeepIoT-DC-1", "RTDeepIoT-DC-2", "RTDeepIoT-DC-3"):
+        assert mean_at(name, 20) > mean_at("FIFO", 20)
+    # Accuracy degrades with concurrency for every policy (load effect).
+    for name, curve in curves.items():
+        assert curve.mean_accuracy[0] >= curve.mean_accuracy[-1] - 0.02, name
+    # Fig 4c: under load the utility scheduler spreads confidence across
+    # tasks far more evenly than FIFO and RR ("balance the computation
+    # fairly, even with a very biased utility curve").
+    assert fairness_at("RTDeepIoT-1", 20) < fairness_at("FIFO", 20)
+    assert fairness_at("RTDeepIoT-1", 20) <= fairness_at("RR", 20) + 0.02

@@ -1,0 +1,17 @@
+"""Ablation — piecewise-linear GP approximation (Sec. III-B's runtime trick)."""
+
+import pytest
+
+from repro.experiments.ablations import run_gp_approx_ablation
+
+
+@pytest.mark.benchmark(group="gp-approx")
+def test_piecewise_linear_gp_approximation(benchmark, artifacts, record_result):
+    result = benchmark.pedantic(run_gp_approx_ablation, rounds=1, iterations=1)
+    text = "\n".join(f"{k:20} {v:.6f}" for k, v in result.items())
+    record_result("gp_approx_ablation", text)
+
+    # Fidelity: the approximation deviates little over the whole [0, 1] domain.
+    assert result["max_abs_deviation"] < 0.05
+    # Speed: the runtime path is at least an order of magnitude faster.
+    assert result["speedup"] > 10.0

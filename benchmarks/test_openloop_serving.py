@@ -1,0 +1,40 @@
+"""Extension bench — open-loop serving under Poisson/bursty arrivals."""
+
+import pytest
+
+from repro.experiments.openloop import format_openloop, run_openloop
+
+
+@pytest.mark.benchmark(group="openloop")
+def test_openloop_load_sweep(benchmark, artifacts, record_result):
+    results = benchmark.pedantic(run_openloop, args=(artifacts,),
+                                 rounds=1, iterations=1)
+    record_result("openloop_serving", format_openloop(results))
+
+    def row(policy, traffic, load):
+        return next(
+            r for r in results[policy]
+            if r["traffic"] == traffic and r["load_factor"] == load
+        )
+
+    # The utility scheduler degrades far more gracefully than FIFO at
+    # overload, on both traffic kinds.
+    for traffic in ("poisson", "bursty"):
+        smart = row("RTDeepIoT-1", traffic, 1.3)
+        fifo = row("FIFO", traffic, 1.3)
+        assert smart["accuracy"] > fifo["accuracy"] + 0.05
+    # At equal average rate, bursts hurt more than smooth traffic.
+    for policy in results:
+        assert (
+            row(policy, "bursty", 1.3)["accuracy"]
+            <= row(policy, "poisson", 1.3)["accuracy"] + 0.02
+        )
+    # Light load is essentially unconstrained: few evictions under Poisson.
+    assert row("RTDeepIoT-1", "poisson", 0.5)["eviction_rate"] < 0.10
+    # Load monotonically squeezes the stages each task receives.
+    for policy in results:
+        for traffic in ("poisson", "bursty"):
+            stages = [
+                row(policy, traffic, load)["mean_stages"] for load in (0.5, 0.9, 1.3)
+            ]
+            assert stages == sorted(stages, reverse=True)

@@ -1,0 +1,26 @@
+"""Extension bench — Sec. IV-A: client/server partitioning vs bandwidth."""
+
+import pytest
+
+from repro.experiments.extensions import run_partitioning
+
+
+@pytest.mark.benchmark(group="partitioning")
+def test_partitioning_bandwidth_sweep(benchmark, artifacts, record_result):
+    rows = benchmark.pedantic(
+        run_partitioning, args=(artifacts,), rounds=1, iterations=1
+    )
+    header = f"{'bandwidth (kbps)':>17} {'cut':>4} {'E[latency] ms':>14} {'P(offload)':>11}"
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r['bandwidth_kbps']:>17.0f} {r['cut']:>4} "
+            f"{r['expected_latency_ms']:>14.1f} {r['offload_probability']:>11.2f}"
+        )
+    record_result("partitioning", "\n".join(lines))
+
+    # More bandwidth never makes latency worse.
+    latencies = [r["expected_latency_ms"] for r in rows]
+    assert latencies == sorted(latencies, reverse=True)
+    # Starved uplinks push work toward the client; fat pipes toward the server.
+    assert rows[0]["cut"] >= rows[-1]["cut"]

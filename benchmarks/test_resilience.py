@@ -1,0 +1,18 @@
+"""E8 — Sec. IV-C resilience numbers: rogue attack and trust-based defense."""
+
+import pytest
+
+from repro.experiments.ablations import run_resilience
+
+
+@pytest.mark.benchmark(group="resilience")
+def test_resilience_against_rogue_camera(benchmark, record_result):
+    result = benchmark.pedantic(run_resilience, rounds=1, iterations=1)
+    text = "\n".join(f"{k:24} {v:.3f}" for k, v in result.items())
+    record_result("resilience", text)
+
+    # The paper's motivating number: false boxes cut accuracy by over 20%.
+    assert result["attack_drop_fraction"] > 0.15
+    # The trust monitor identifies the rogue and restores accuracy.
+    assert result["rogue_detected"] == 1.0
+    assert result["defended_accuracy"] > 0.9 * result["clean_accuracy"]

@@ -1,0 +1,30 @@
+"""Extension bench — Sec. V: service classes and pricing."""
+
+import pytest
+
+from repro.experiments.extensions import run_service_classes
+
+
+@pytest.mark.benchmark(group="service-classes")
+def test_class_aware_scheduling_and_pricing(benchmark, artifacts, record_result):
+    result = benchmark.pedantic(
+        run_service_classes, args=(artifacts,), rounds=1, iterations=1
+    )
+    lines = []
+    for name, row in result.items():
+        lines.append(
+            f"{name:12} accuracy={row['accuracy']:.3f} "
+            f"interactive-served={row['interactive_service_rate']:.3f} "
+            f"revenue={row['revenue']:.0f}"
+        )
+        for cls, bill in row["bills"].items():
+            lines.append(f"    {cls:12} {bill}")
+    record_result("service_classes", "\n".join(lines))
+
+    aware = result["class-aware"]
+    blind = result["class-blind"]
+    # The class-aware scheduler serves at least as many interactive tasks
+    # within their tight deadlines.
+    assert aware["interactive_service_rate"] >= blind["interactive_service_rate"]
+    # And does not sacrifice overall accuracy materially.
+    assert aware["accuracy"] > blind["accuracy"] - 0.1

@@ -1,0 +1,25 @@
+"""E1 — regenerate Table I: conv execution time vs FLOPs non-linearity."""
+
+import pytest
+
+from repro.experiments.table1 import format_table1, run_table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_execution_time(benchmark, record_result):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    record_result("table1_profiling", format_table1(rows))
+
+    by_name = {r["layer"]: r for r in rows}
+    # Anomaly 1: identical FLOPs, very different time (CNN1 vs CNN2).
+    assert by_name["CNN1"]["flops_m"] == by_name["CNN2"]["flops_m"]
+    assert by_name["CNN2"]["model_time_ms"] > 2 * by_name["CNN1"]["model_time_ms"]
+    # Anomaly 2: more FLOPs yet faster (CNN4 vs CNN3).
+    assert by_name["CNN4"]["flops_m"] > by_name["CNN3"]["flops_m"]
+    assert by_name["CNN4"]["model_time_ms"] < by_name["CNN3"]["model_time_ms"]
+    # The learned profiler reproduces both orderings.
+    assert by_name["CNN2"]["profiler_time_ms"] > by_name["CNN1"]["profiler_time_ms"]
+    assert by_name["CNN4"]["profiler_time_ms"] < by_name["CNN3"]["profiler_time_ms"]
+    # Absolute times track the paper's within 15%.
+    for row in rows:
+        assert row["model_time_ms"] == pytest.approx(row["paper_time_ms"], rel=0.15)

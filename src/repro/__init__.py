@@ -1,0 +1,44 @@
+"""Eugene: Deep Intelligence as a Service — full reproduction (ICDCS 2019).
+
+Subpackages (see DESIGN.md for the system inventory):
+
+- :mod:`repro.nn` — numpy deep-learning substrate (autograd, layers, staged ResNet)
+- :mod:`repro.datasets` — synthetic image / sensor-time-series data
+- :mod:`repro.calibration` — ECE, reliability diagrams, entropy calibration
+- :mod:`repro.gp` — Gaussian-process regression + piecewise-linear approximation
+- :mod:`repro.scheduler` — RTDeepIoT utility-maximizing scheduler + baselines
+- :mod:`repro.profiling` — device cost model (Table I) + FastDeepIoT profiler
+- :mod:`repro.compression` — edge/node pruning, model reduction + caching
+- :mod:`repro.labeling` — SenseGAN-style semi-supervised labeling
+- :mod:`repro.collaborative` — multi-camera collaborative inferencing (Table IV)
+- :mod:`repro.service` — the Eugene service facade (train/label/reduce/profile/infer)
+"""
+
+__version__ = "1.0.0"
+
+from . import (
+    calibration,
+    collaborative,
+    compression,
+    datasets,
+    gp,
+    labeling,
+    nn,
+    profiling,
+    scheduler,
+    service,
+)
+
+__all__ = [
+    "nn",
+    "datasets",
+    "calibration",
+    "gp",
+    "scheduler",
+    "profiling",
+    "compression",
+    "labeling",
+    "collaborative",
+    "service",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""Confidence calibration — Section II-D / III-A of the Eugene paper.
+
+Provides the Expected Calibration Error metric (Eq. 1-3), reliability-diagram
+binning (Fig. 2), the paper's entropy-based calibration fine-tuning (Eq. 4,
+a.k.a. RTDeepIoT calibration), the RDeepSense-style MC-dropout baseline, and
+a temperature-scaling baseline for ablations.
+"""
+
+from .ece import (
+    CalibrationSummary,
+    ReliabilityDiagram,
+    expected_calibration_error,
+    maximum_calibration_error,
+    reliability_diagram,
+    summarize_calibration,
+)
+from .entropy_reg import EntropyCalibrator, choose_alpha
+from .mc_dropout import MCDropoutClassifier, MCDropoutStagedWrapper
+from .rdeepsense import (
+    GaussianRegressor,
+    coverage_bias,
+    fit_gaussian_regressor,
+    interval_coverage,
+    regression_calibration_curve,
+    sweep_loss_weight,
+)
+from .temperature import TemperatureScaler
+
+__all__ = [
+    "expected_calibration_error",
+    "maximum_calibration_error",
+    "reliability_diagram",
+    "summarize_calibration",
+    "ReliabilityDiagram",
+    "CalibrationSummary",
+    "EntropyCalibrator",
+    "choose_alpha",
+    "MCDropoutClassifier",
+    "MCDropoutStagedWrapper",
+    "TemperatureScaler",
+    "GaussianRegressor",
+    "fit_gaussian_regressor",
+    "interval_coverage",
+    "regression_calibration_curve",
+    "coverage_bias",
+    "sweep_loss_weight",
+]

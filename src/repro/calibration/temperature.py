@@ -1,0 +1,57 @@
+"""Temperature scaling (Guo et al. 2017) — ablation baseline.
+
+The paper cites [11] ("On calibration of modern neural networks") when
+motivating its entropy regularizer; temperature scaling is that paper's
+method and the natural extra baseline for our calibration ablation: a single
+scalar T rescales the logits, fit by minimizing NLL on a held-out split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.optimize import minimize_scalar
+
+
+def _nll_at_temperature(logits: np.ndarray, labels: np.ndarray, temperature: float) -> float:
+    scaled = logits / temperature
+    shifted = scaled - scaled.max(axis=-1, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=-1))
+    picked = shifted[np.arange(len(labels)), labels]
+    return float((logsumexp - picked).mean())
+
+
+@dataclass
+class TemperatureScaler:
+    """Fits T > 0 minimizing NLL; ``transform`` rescales softmax outputs."""
+
+    max_temperature: float = 20.0
+    temperature: float = field(default=1.0, init=False)
+    fitted: bool = field(default=False, init=False)
+
+    def fit(self, logits: np.ndarray, labels: np.ndarray) -> "TemperatureScaler":
+        logits = np.asarray(logits, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if logits.ndim != 2 or len(logits) != len(labels):
+            raise ValueError("logits must be (N, C) matching labels (N,)")
+        result = minimize_scalar(
+            lambda t: _nll_at_temperature(logits, labels, t),
+            bounds=(1e-2, self.max_temperature),
+            method="bounded",
+        )
+        self.temperature = float(result.x)
+        self.fitted = True
+        return self
+
+    def transform(self, logits: np.ndarray) -> np.ndarray:
+        """Calibrated softmax probabilities for ``logits``."""
+        if not self.fitted:
+            raise RuntimeError("call fit() before transform()")
+        scaled = np.asarray(logits) / self.temperature
+        shifted = scaled - scaled.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=-1, keepdims=True)
+
+    def fit_transform(self, logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        return self.fit(logits, labels).transform(logits)

@@ -1,0 +1,134 @@
+"""Command-line driver: regenerate any of the paper's tables/figures.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli table1
+    python -m repro.cli table2 table3 fig2
+    python -m repro.cli all
+
+The first run of the model-backed experiments trains the benchmark model
+(~4 minutes) and caches it under ``.bench_cache/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+
+def _table1() -> str:
+    from .experiments.table1 import format_table1, run_table1
+
+    return format_table1(run_table1())
+
+
+def _fig2() -> str:
+    from .experiments.fig2 import format_fig2, run_fig2
+
+    return format_fig2(run_fig2())
+
+
+def _table2() -> str:
+    from .experiments.table2 import format_table2, run_table2
+
+    return format_table2(run_table2())
+
+
+def _table3() -> str:
+    from .experiments.table3 import format_table3, run_table3
+
+    return format_table3(run_table3())
+
+
+def _fig4() -> str:
+    from .experiments.fig4 import format_fig4, run_fig4
+
+    return format_fig4(run_fig4())
+
+
+def _table4() -> str:
+    from .experiments.table4 import format_table4, run_table4
+
+    return format_table4(run_table4())
+
+
+def _resilience() -> str:
+    from .experiments.ablations import run_resilience
+
+    result = run_resilience()
+    return "\n".join(f"{k:24} {v:.3f}" for k, v in result.items())
+
+
+def _service_classes() -> str:
+    from .experiments.extensions import run_service_classes
+
+    result = run_service_classes()
+    lines = []
+    for name, row in result.items():
+        lines.append(
+            f"{name:12} accuracy={row['accuracy']:.3f} "
+            f"interactive-served={row['interactive_service_rate']:.3f} "
+            f"revenue={row['revenue']:.0f}"
+        )
+    return "\n".join(lines)
+
+
+def _partitioning() -> str:
+    from .experiments.extensions import run_partitioning
+
+    rows = run_partitioning()
+    lines = [f"{'kbps':>8} {'cut':>4} {'E[latency] ms':>14} {'P(offload)':>11}"]
+    for r in rows:
+        lines.append(
+            f"{r['bandwidth_kbps']:>8.0f} {r['cut']:>4} "
+            f"{r['expected_latency_ms']:>14.1f} {r['offload_probability']:>11.2f}"
+        )
+    return "\n".join(lines)
+
+
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "table1": _table1,
+    "fig2": _fig2,
+    "table2": _table2,
+    "table3": _table3,
+    "fig4": _fig4,
+    "table4": _table4,
+    "resilience": _resilience,
+    "service-classes": _service_classes,
+    "partitioning": _partitioning,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the Eugene paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment names (see 'list'), or 'all', or 'list'",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiments == ["list"]:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s) {unknown}; choose from {list(EXPERIMENTS)}"
+        )
+    for name in names:
+        print(f"\n{'=' * 70}\n{name}\n{'=' * 70}")
+        print(EXPERIMENTS[name]())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

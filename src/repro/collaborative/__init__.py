@@ -1,0 +1,84 @@
+"""Collaborative inferencing (Sec. IV, Table IV) — multi-camera substrate.
+
+The paper evaluates collaboration between surveillance cameras with
+overlapping fields of view on the PETS2009 dataset using Movidius edge
+nodes.  Neither is available offline, so this package simulates the whole
+stack (see DESIGN.md §2): a 2-D campus world with pedestrians and occluders,
+cameras with wedge-shaped FoVs, an SSD-like detection pipeline with a
+calibrated latency model, bounding-box sharing with coordinate remapping,
+autonomous discovery of FoV overlap from inference streams (collaboration
+brokering), and resilience against rogue peers.
+"""
+
+from .world import Occluder, Pedestrian, World, WorldConfig
+from .camera import Camera, CameraPose, ring_of_cameras
+from .detector import Detection, DetectorConfig, SSDDetector
+from .collaboration import (
+    CollaborativeFrameResult,
+    CollaborativePipeline,
+    EvaluationSummary,
+    match_detections,
+)
+from .broker import BrokerResult, CollaborationBroker
+from .counting import (
+    OccupancyEstimator,
+    OccupancyReport,
+    RegionGrid,
+    deduplicate_detections,
+)
+from .partitioning import (
+    LinkSpec,
+    PartitionPlan,
+    PartitionPlanner,
+    exit_probabilities,
+    plan_chain_partition,
+)
+from .resilience import ResilienceMonitor, RogueCamera
+from .scenarios import CorridorScenario, campus_quad, corridor
+from .tracking import (
+    Track,
+    Tracker,
+    TrackingMetrics,
+    TrackPoint,
+    stitch_tracks,
+    tracking_metrics,
+)
+
+__all__ = [
+    "World",
+    "WorldConfig",
+    "Pedestrian",
+    "Occluder",
+    "Camera",
+    "CameraPose",
+    "ring_of_cameras",
+    "SSDDetector",
+    "DetectorConfig",
+    "Detection",
+    "CollaborativePipeline",
+    "CollaborativeFrameResult",
+    "EvaluationSummary",
+    "match_detections",
+    "CollaborationBroker",
+    "BrokerResult",
+    "ResilienceMonitor",
+    "RogueCamera",
+    "PartitionPlanner",
+    "PartitionPlan",
+    "LinkSpec",
+    "exit_probabilities",
+    "plan_chain_partition",
+    "Track",
+    "TrackPoint",
+    "Tracker",
+    "TrackingMetrics",
+    "stitch_tracks",
+    "tracking_metrics",
+    "campus_quad",
+    "corridor",
+    "CorridorScenario",
+    "RegionGrid",
+    "OccupancyEstimator",
+    "OccupancyReport",
+    "deduplicate_detections",
+]

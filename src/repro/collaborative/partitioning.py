@@ -1,0 +1,265 @@
+"""Client/server partitioning of staged inference models (Sec. IV-A).
+
+"In performing inference, it may be possible to execute some stages of the
+neural network on the client, leaving other stages to execute on the server.
+If the confidence in results obtained on the client is sufficiently high, no
+subsequent offloading to the server is needed. ...  An ideal partitioning
+should maximally reduce client reliance on remote processing on the server,
+while observing client-side resource constraints as well as communication
+bandwidth constraints between the client and server."
+
+:class:`PartitionPlanner` solves exactly that: given
+
+- per-stage execution costs on the client and on the server,
+- the size of the intermediate feature map at every stage boundary,
+- the client->server bandwidth and round-trip latency,
+- the probability that inference *early-exits* at each stage (derived from
+  observed confidence curves and a confidence threshold),
+
+it enumerates every cut point (stages ``0..cut-1`` on the client, the rest
+on the server) and returns the cut minimizing expected end-to-end latency,
+subject to a client compute budget and an optional latency constraint.
+
+The early-exit coupling is what makes this more than a classic Neurosurgeon
+split: executing more stages on the client costs client compute but lets
+high-confidence tasks skip the uplink entirely.
+
+:func:`plan_chain_partition` extends the same idea to a chain of devices
+(sensor -> gateway -> server), assigning a contiguous block of stages per
+hop by dynamic programming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A communication link between two placement tiers."""
+
+    bandwidth_bytes_per_s: float
+    rtt_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0 or self.rtt_s < 0:
+            raise ValueError("invalid link specification")
+
+    def transfer_time(self, num_bytes: float) -> float:
+        return self.rtt_s + num_bytes / self.bandwidth_bytes_per_s
+
+
+@dataclass
+class PartitionPlan:
+    """Result of a two-tier partitioning decision."""
+
+    cut: int  # stages [0, cut) on the client, [cut, S) on the server
+    expected_latency_s: float
+    client_compute_s: float
+    offload_probability: float
+    per_cut_latencies: Tuple[float, ...]
+
+    @property
+    def fully_local(self) -> bool:
+        return self.offload_probability == 0.0
+
+    @property
+    def fully_remote(self) -> bool:
+        return self.cut == 0
+
+
+def exit_probabilities(
+    stage_confidences: np.ndarray, threshold: float
+) -> np.ndarray:
+    """P(task first reaches ``confidence >= threshold`` at stage s).
+
+    Computed from a (num_stages, N) confidence matrix; the final entry
+    absorbs tasks that never cross the threshold (they run every stage).
+    """
+    stage_confidences = np.asarray(stage_confidences, dtype=np.float64)
+    if stage_confidences.ndim != 2:
+        raise ValueError("stage_confidences must be (num_stages, N)")
+    num_stages, n = stage_confidences.shape
+    if n == 0:
+        raise ValueError("need at least one sample")
+    first_exit = np.full(n, num_stages - 1)
+    undecided = np.ones(n, dtype=bool)
+    for s in range(num_stages):
+        crossing = undecided & (stage_confidences[s] >= threshold)
+        first_exit[crossing] = s
+        undecided &= ~crossing
+    return np.bincount(first_exit, minlength=num_stages) / n
+
+
+class PartitionPlanner:
+    """Two-tier (client/server) partition optimizer for a staged model."""
+
+    def __init__(
+        self,
+        client_stage_costs_s: Sequence[float],
+        server_stage_costs_s: Sequence[float],
+        boundary_feature_bytes: Sequence[float],
+        input_bytes: float,
+        link: LinkSpec,
+        exit_probs: Optional[Sequence[float]] = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        client_stage_costs_s / server_stage_costs_s:
+            Execution time of each stage on each tier (same length S).
+        boundary_feature_bytes:
+            Size of the intermediate representation after each stage
+            (length S; entry s is what must be uplinked when cutting after
+            stage s+1... i.e. cut = s+1 transmits boundary_feature_bytes[s]).
+        input_bytes:
+            Size of the raw input (transmitted when cut = 0).
+        exit_probs:
+            Early-exit distribution over stages (length S, sums to 1).
+            Defaults to "never exits early" (all mass on the last stage).
+        """
+        self.client_costs = [float(c) for c in client_stage_costs_s]
+        self.server_costs = [float(c) for c in server_stage_costs_s]
+        self.boundary_bytes = [float(b) for b in boundary_feature_bytes]
+        self.input_bytes = float(input_bytes)
+        self.link = link
+        s = len(self.client_costs)
+        if not (len(self.server_costs) == len(self.boundary_bytes) == s) or s == 0:
+            raise ValueError("cost/size vectors must share a positive length")
+        if any(c <= 0 for c in self.client_costs + self.server_costs):
+            raise ValueError("stage costs must be positive")
+        if exit_probs is None:
+            probs = np.zeros(s)
+            probs[-1] = 1.0
+        else:
+            probs = np.asarray(exit_probs, dtype=np.float64)
+            if probs.shape != (s,) or probs.min() < 0 or abs(probs.sum() - 1) > 1e-6:
+                raise ValueError("exit_probs must be a length-S distribution")
+        self.exit_probs = probs
+        self.num_stages = s
+
+    # ------------------------------------------------------------------
+    def _uplink_bytes(self, cut: int) -> float:
+        if cut == 0:
+            return self.input_bytes
+        return self.boundary_bytes[cut - 1]
+
+    def expected_latency(self, cut: int) -> Tuple[float, float, float]:
+        """(expected latency, client compute, offload probability) at ``cut``.
+
+        A task exits at stage e with probability ``exit_probs[e]``:
+
+        - e < cut: entirely client-side; latency = client cost of stages 0..e;
+        - e >= cut: client runs 0..cut-1, uplinks the boundary features, and
+          the server runs cut..e.
+        """
+        if not 0 <= cut <= self.num_stages:
+            raise ValueError(f"cut must be in [0, {self.num_stages}]")
+        client_prefix = np.concatenate([[0.0], np.cumsum(self.client_costs)])
+        server_prefix = np.concatenate([[0.0], np.cumsum(self.server_costs)])
+        total = 0.0
+        client_compute = 0.0
+        offload_prob = 0.0
+        for exit_stage, prob in enumerate(self.exit_probs):
+            if prob == 0.0:
+                continue
+            if exit_stage < cut:
+                latency = client_prefix[exit_stage + 1]
+                client_compute += prob * client_prefix[exit_stage + 1]
+            else:
+                transfer = self.link.transfer_time(self._uplink_bytes(cut))
+                latency = (
+                    client_prefix[cut]
+                    + transfer
+                    + (server_prefix[exit_stage + 1] - server_prefix[cut])
+                )
+                client_compute += prob * client_prefix[cut]
+                offload_prob += prob
+            total += prob * latency
+        return total, client_compute, offload_prob
+
+    def plan(
+        self,
+        client_compute_budget_s: Optional[float] = None,
+        latency_constraint_s: Optional[float] = None,
+    ) -> PartitionPlan:
+        """Pick the feasible cut minimizing expected latency.
+
+        Raises ``ValueError`` when no cut satisfies both constraints.
+        """
+        candidates: List[Tuple[float, int, float, float]] = []
+        latencies = []
+        for cut in range(self.num_stages + 1):
+            latency, compute, offload = self.expected_latency(cut)
+            latencies.append(latency)
+            if client_compute_budget_s is not None and compute > client_compute_budget_s:
+                continue
+            if latency_constraint_s is not None and latency > latency_constraint_s:
+                continue
+            candidates.append((latency, cut, compute, offload))
+        if not candidates:
+            raise ValueError("no cut point satisfies the given constraints")
+        latency, cut, compute, offload = min(candidates)
+        return PartitionPlan(
+            cut=cut,
+            expected_latency_s=latency,
+            client_compute_s=compute,
+            offload_probability=offload,
+            per_cut_latencies=tuple(latencies),
+        )
+
+
+def plan_chain_partition(
+    tier_stage_costs_s: Sequence[Sequence[float]],
+    boundary_feature_bytes: Sequence[float],
+    input_bytes: float,
+    links: Sequence[LinkSpec],
+) -> Tuple[List[int], float]:
+    """Assign contiguous stage blocks across a chain of tiers by DP.
+
+    ``tier_stage_costs_s[t][s]`` is stage ``s``'s cost on tier ``t``; tiers
+    are ordered client-first.  ``links[t]`` connects tier ``t`` to ``t+1``.
+    No early exits here (the conservative full-execution plan).
+
+    Returns ``(cuts, total_latency)`` where ``cuts[t]`` is the first stage
+    executed at tier ``t+1`` (monotone non-decreasing boundaries).
+    """
+    num_tiers = len(tier_stage_costs_s)
+    if num_tiers < 1:
+        raise ValueError("need at least one tier")
+    if len(links) != num_tiers - 1:
+        raise ValueError("need exactly one link between consecutive tiers")
+    num_stages = len(tier_stage_costs_s[0])
+    if any(len(costs) != num_stages for costs in tier_stage_costs_s):
+        raise ValueError("every tier must cost all stages")
+
+    def block_cost(tier: int, start: int, stop: int) -> float:
+        return float(sum(tier_stage_costs_s[tier][start:stop]))
+
+    def boundary_size(stage: int) -> float:
+        return input_bytes if stage == 0 else float(boundary_feature_bytes[stage - 1])
+
+    # dp[(tier, start)] = minimal latency executing stages [start, S) on
+    # tiers tier..T-1, given the data currently sits at `tier`.
+    from functools import lru_cache
+
+    @lru_cache(maxsize=None)
+    def dp(tier: int, start: int) -> Tuple[float, Tuple[int, ...]]:
+        if tier == num_tiers - 1:
+            return block_cost(tier, start, num_stages), ()
+        best: Optional[Tuple[float, Tuple[int, ...]]] = None
+        for stop in range(start, num_stages + 1):
+            here = block_cost(tier, start, stop)
+            transfer = links[tier].transfer_time(boundary_size(stop))
+            rest, rest_cuts = dp(tier + 1, stop)
+            total = here + transfer + rest
+            if best is None or total < best[0]:
+                best = (total, (stop,) + rest_cuts)
+        assert best is not None
+        return best
+
+    total, cuts = dp(0, 0)
+    return list(cuts), total

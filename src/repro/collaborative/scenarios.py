@@ -1,0 +1,114 @@
+"""Ready-made collaborative-sensing scenarios.
+
+Two deployments the paper describes:
+
+- :func:`campus_quad` — the Table IV setup: cameras ringing a quad with
+  heavily overlapping FoVs (concurrent correlation, lag 0);
+- :func:`corridor` — the Sec. IV-C brokering story: "two corridors at two
+  ends of a campus building ... are likely to observe the same individuals
+  20 seconds apart".  People stream down a long corridor past camera A and,
+  ``transit_time`` later, past camera B; the FoVs do not overlap, so only a
+  *lagged* correlation exists for the broker to find.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .camera import Camera, CameraPose, ring_of_cameras
+from .world import Pedestrian, World, WorldConfig
+
+
+def campus_quad(
+    num_cameras: int = 8,
+    num_people: int = 12,
+    num_occluders: int = 6,
+    seed: int = 2,
+) -> Tuple[World, List[Camera]]:
+    """The Table IV deployment: a ring of overlapping cameras."""
+    world = World(
+        WorldConfig(num_people=num_people, num_occluders=num_occluders, seed=seed)
+    )
+    return world, ring_of_cameras(num_cameras, world)
+
+
+class _CorridorWalker(Pedestrian):
+    """A pedestrian pacing the corridor at constant speed, looping."""
+
+    def __init__(self, person_id: int, offset: float, speed: float,
+                 corridor_length: float, y: float) -> None:
+        # Bypass Pedestrian's random waypoints entirely.
+        self.person_id = person_id
+        self.speed = speed
+        self._offset = offset
+        self._length = corridor_length
+        self._y = y
+
+    @property
+    def path_length(self) -> float:
+        return self._length
+
+    def position_at(self, t: float) -> np.ndarray:
+        x = (self._offset + t * self.speed) % self._length
+        return np.array([x, self._y])
+
+
+@dataclass(frozen=True)
+class CorridorScenario:
+    world: World
+    camera_a: Camera
+    camera_b: Camera
+    #: seconds a walker needs from camera A's FoV center to camera B's.
+    transit_time: float
+
+    @property
+    def cameras(self) -> List[Camera]:
+        return [self.camera_a, self.camera_b]
+
+
+def corridor(
+    num_people: int = 6,
+    transit_time: float = 20.0,
+    walker_speed: float = 2.0,
+    fov_degrees: float = 40.0,
+    seed: int = 0,
+) -> CorridorScenario:
+    """Build the lagged-correlation corridor.
+
+    Two narrow-FoV cameras watch spots ``transit_time * walker_speed``
+    apart along a corridor; walkers enter at staggered offsets and loop.
+    The cameras' FoVs are disjoint, so concurrent count correlation is
+    ~zero while the correlation at the transit lag is strong.
+    """
+    if num_people < 1 or transit_time <= 0 or walker_speed <= 0:
+        raise ValueError("invalid corridor parameters")
+    spacing = transit_time * walker_speed
+    length = spacing * 3.0  # room before, between and after the cameras
+    y = 10.0
+    world = World(WorldConfig(width=length, height=20.0, num_people=0,
+                              num_occluders=0, seed=seed))
+    rng = np.random.default_rng(seed)
+    world.people = [
+        _CorridorWalker(
+            person_id=i,
+            offset=float(rng.uniform(0, length)),
+            speed=walker_speed,
+            corridor_length=length,
+            y=y,
+        )
+        for i in range(num_people)
+    ]
+    # Cameras hang on the corridor wall looking straight down at a spot.
+    ax = spacing
+    bx = 2 * spacing
+    camera_a = Camera(0, CameraPose(x=ax, y=0.0, orientation=np.pi / 2,
+                                    fov_degrees=fov_degrees, max_range=12.0))
+    camera_b = Camera(1, CameraPose(x=bx, y=0.0, orientation=np.pi / 2,
+                                    fov_degrees=fov_degrees, max_range=12.0))
+    return CorridorScenario(
+        world=world, camera_a=camera_a, camera_b=camera_b,
+        transit_time=transit_time,
+    )

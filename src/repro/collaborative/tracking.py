@@ -1,0 +1,252 @@
+"""Cross-camera people tracking (Sec. IV's second application).
+
+Table IV's workload includes "people tracking (capturing the movement
+trajectory of a specific individual throughout the campus)", and Sec. IV-C
+raises the corridor scenario: "two corridors at two ends of a campus
+building are likely to observe the same individuals 20 seconds apart",
+which the broker should exploit by instructing cameras "to apply the
+collaborative tracking mechanism ... but with a time lag of 20 seconds".
+
+This module provides:
+
+- :class:`Track` / :class:`Tracker` — per-camera nearest-neighbour
+  association of frame detections into world-coordinate tracks with a
+  constant-velocity motion gate;
+- :func:`stitch_tracks` — cross-camera track handover: tracks whose
+  endpoints align in space and time (optionally with a known lag) are
+  merged into campus-wide trajectories;
+- :func:`tracking_metrics` — MOTA-style scores against the simulator's
+  ground-truth trajectories (matches, misses, false tracks, identity
+  switches).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .collaboration import CollaborativeFrameResult
+from .world import World
+
+
+@dataclass
+class TrackPoint:
+    t: float
+    xy: np.ndarray
+    #: evaluator-only ground truth; None for clutter-born points.
+    true_person: Optional[int] = None
+
+
+@dataclass
+class Track:
+    """A sequence of associated detections in world coordinates."""
+
+    track_id: int
+    camera_id: int
+    points: List[TrackPoint] = field(default_factory=list)
+
+    @property
+    def start_time(self) -> float:
+        return self.points[0].t
+
+    @property
+    def end_time(self) -> float:
+        return self.points[-1].t
+
+    @property
+    def length(self) -> int:
+        return len(self.points)
+
+    def position_at_end(self) -> np.ndarray:
+        return self.points[-1].xy
+
+    def velocity(self) -> np.ndarray:
+        """Average velocity over the last few points (constant-velocity model)."""
+        if self.length < 2:
+            return np.zeros(2)
+        tail = self.points[-min(4, self.length):]
+        dt = tail[-1].t - tail[0].t
+        if dt <= 0:
+            return np.zeros(2)
+        return (tail[-1].xy - tail[0].xy) / dt
+
+    def predict(self, t: float) -> np.ndarray:
+        """Constant-velocity extrapolation to time ``t``."""
+        return self.position_at_end() + self.velocity() * (t - self.end_time)
+
+    def dominant_person(self) -> Optional[int]:
+        """Ground-truth person this track mostly follows (evaluator only)."""
+        ids = [p.true_person for p in self.points if p.true_person is not None]
+        if not ids:
+            return None
+        values, counts = np.unique(ids, return_counts=True)
+        return int(values[counts.argmax()])
+
+
+class Tracker:
+    """Greedy nearest-neighbour tracker with a motion gate.
+
+    Detections are associated to the track whose constant-velocity
+    prediction is closest, within ``gate`` meters; unmatched detections
+    start new tracks; tracks silent for longer than ``max_silence`` frames
+    are closed.
+    """
+
+    def __init__(self, gate: float = 4.0, max_silence: float = 3.0) -> None:
+        if gate <= 0 or max_silence <= 0:
+            raise ValueError("gate and max_silence must be positive")
+        self.gate = gate
+        self.max_silence = max_silence
+        self._counter = itertools.count()
+
+    def build_tracks(
+        self, frames: Sequence[CollaborativeFrameResult], camera_id: int
+    ) -> List[Track]:
+        """Associate one camera's detections across frames into tracks."""
+        open_tracks: List[Track] = []
+        closed: List[Track] = []
+        for frame in frames:
+            detections = frame.detections.get(camera_id, [])
+            now = frame.t
+            # Close stale tracks.
+            still_open: List[Track] = []
+            for track in open_tracks:
+                if now - track.end_time > self.max_silence:
+                    closed.append(track)
+                else:
+                    still_open.append(track)
+            open_tracks = still_open
+
+            unmatched = list(detections)
+            # Greedy global matching by predicted distance.
+            pairs: List[Tuple[float, Track, object]] = []
+            for track in open_tracks:
+                predicted = track.predict(now)
+                for det in unmatched:
+                    dist = float(np.linalg.norm(np.array(det.world_xy) - predicted))
+                    if dist <= self.gate:
+                        pairs.append((dist, track, det))
+            pairs.sort(key=lambda p: p[0])
+            used_tracks: set = set()
+            used_dets: set = set()
+            for dist, track, det in pairs:
+                if id(track) in used_tracks or id(det) in used_dets:
+                    continue
+                track.points.append(
+                    TrackPoint(t=now, xy=np.array(det.world_xy),
+                               true_person=det.true_person)
+                )
+                used_tracks.add(id(track))
+                used_dets.add(id(det))
+            for det in unmatched:
+                if id(det) in used_dets:
+                    continue
+                track = Track(track_id=next(self._counter), camera_id=camera_id)
+                track.points.append(
+                    TrackPoint(t=now, xy=np.array(det.world_xy),
+                               true_person=det.true_person)
+                )
+                open_tracks.append(track)
+        return closed + open_tracks
+
+
+def stitch_tracks(
+    tracks: Sequence[Track],
+    max_gap_s: float = 4.0,
+    max_distance: float = 6.0,
+    lag_s: float = 0.0,
+) -> List[List[Track]]:
+    """Merge tracks across cameras into campus-wide trajectories.
+
+    Track B continues track A when B starts within ``max_gap_s`` after A
+    ends (shifted by ``lag_s`` for corridor-style lagged pairs) and B's
+    start lies within ``max_distance`` of A's constant-velocity prediction.
+    Returns groups of tracks, each group one stitched trajectory.
+    """
+    if max_gap_s <= 0 or max_distance <= 0:
+        raise ValueError("max_gap_s and max_distance must be positive")
+    ordered = sorted(tracks, key=lambda t: t.start_time)
+    successor_of: Dict[int, int] = {}
+    has_predecessor: set = set()
+    for i, a in enumerate(ordered):
+        best: Optional[Tuple[float, int]] = None
+        for j, b in enumerate(ordered):
+            if i == j or id(b) in has_predecessor:
+                continue
+            gap = b.start_time - (a.end_time + lag_s)
+            if not 0.0 <= gap <= max_gap_s:
+                continue
+            predicted = a.predict(b.start_time - lag_s)
+            dist = float(np.linalg.norm(b.points[0].xy - predicted))
+            if dist > max_distance:
+                continue
+            if best is None or dist < best[0]:
+                best = (dist, j)
+        if best is not None:
+            successor_of[i] = best[1]
+            has_predecessor.add(id(ordered[best[1]]))
+
+    # Walk chains.
+    groups: List[List[Track]] = []
+    starts = [i for i in range(len(ordered)) if id(ordered[i]) not in has_predecessor]
+    for start in starts:
+        chain = [ordered[start]]
+        cursor = start
+        while cursor in successor_of:
+            cursor = successor_of[cursor]
+            chain.append(ordered[cursor])
+        groups.append(chain)
+    return groups
+
+
+@dataclass
+class TrackingMetrics:
+    """MOTA-style summary of tracking quality."""
+
+    num_tracks: int
+    num_trajectories: int
+    #: fraction of track points whose ground-truth person matches the
+    #: track's dominant person (track purity).
+    purity: float
+    #: fraction of ground-truth people covered by at least one track.
+    person_coverage: float
+    #: identity switches: extra dominant-person changes inside stitched
+    #: trajectories.
+    identity_switches: int
+
+
+def tracking_metrics(
+    groups: Sequence[Sequence[Track]], world: World
+) -> TrackingMetrics:
+    """Score stitched trajectories against ground truth."""
+    all_tracks = [t for g in groups for t in g]
+    if not all_tracks:
+        return TrackingMetrics(0, 0, 0.0, 0.0, 0)
+    pure_points = 0
+    total_points = 0
+    covered: set = set()
+    switches = 0
+    for group in groups:
+        dominant_sequence: List[int] = []
+        for track in group:
+            dom = track.dominant_person()
+            if dom is not None:
+                covered.add(dom)
+                if not dominant_sequence or dominant_sequence[-1] != dom:
+                    dominant_sequence.append(dom)
+            for point in track.points:
+                total_points += 1
+                if point.true_person is not None and point.true_person == dom:
+                    pure_points += 1
+        switches += max(0, len(dominant_sequence) - 1)
+    num_people = len(world.people)
+    return TrackingMetrics(
+        num_tracks=len(all_tracks),
+        num_trajectories=len(groups),
+        purity=pure_points / max(total_points, 1),
+        person_coverage=len(covered) / max(num_people, 1),
+        identity_switches=switches,
+    )

@@ -1,0 +1,48 @@
+"""Model reduction and caching (Sec. II-B) — the DeepIoT substrate.
+
+Implements both compression families the paper contrasts:
+
+- **edge pruning** (the baseline): remove low-magnitude weights, producing a
+  sparse matrix whose computational savings do *not* scale with sparsity
+  because sparse algebra carries per-element overhead;
+- **node pruning** (DeepIoT [5]): remove whole nodes/channels, producing a
+  smaller *dense* model that keeps dense-algebra efficiency.
+
+On top of these, :mod:`repro.compression.cache` implements the paper's model
+caching: detect frequent classes at a device, train/reduce a small model for
+just those classes, push it to the device, and treat low-confidence or
+unknown-class outputs as cache misses that fall back to the full server
+model.
+"""
+
+from .pruning import (
+    EdgePruneResult,
+    NodePruneResult,
+    magnitude_edge_prune,
+    node_prune_mlp,
+    shrink_staged_resnet,
+    sparse_storage_ratio,
+    sparse_time_ratio,
+)
+from .cache import (
+    CachedInferenceService,
+    CacheStats,
+    DeviceProfile,
+    FrequencyTracker,
+    ReducedClassModel,
+)
+
+__all__ = [
+    "magnitude_edge_prune",
+    "node_prune_mlp",
+    "shrink_staged_resnet",
+    "sparse_time_ratio",
+    "sparse_storage_ratio",
+    "EdgePruneResult",
+    "NodePruneResult",
+    "FrequencyTracker",
+    "ReducedClassModel",
+    "CachedInferenceService",
+    "CacheStats",
+    "DeviceProfile",
+]

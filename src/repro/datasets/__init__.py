@@ -1,0 +1,23 @@
+"""Synthetic datasets substituting for CIFAR-10 and mobile-sensing corpora.
+
+No public dataset ships with this offline reproduction, so we generate
+structured, seeded synthetic data whose *statistical properties* match what
+the Eugene experiments rely on (see DESIGN.md §2): a 10-class image
+distribution with a per-sample difficulty spectrum, and multi-sensor time
+series for the DeepSense-style training service.
+"""
+
+from .synthetic_images import (
+    SyntheticImageConfig,
+    SyntheticImageGenerator,
+    make_image_dataset,
+)
+from .timeseries import SensorTimeSeriesConfig, make_sensor_dataset
+
+__all__ = [
+    "SyntheticImageConfig",
+    "SyntheticImageGenerator",
+    "make_image_dataset",
+    "SensorTimeSeriesConfig",
+    "make_sensor_dataset",
+]

@@ -1,0 +1,159 @@
+"""Synthetic 10-class image dataset — the offline stand-in for CIFAR-10.
+
+Each class is defined by a smooth random texture template (a low-frequency
+Gaussian random field per channel).  A sample is drawn by taking its class
+template, applying a random spatial shift, blending in a *difficulty*-
+controlled amount of pixel noise and distractor texture, and optionally
+occluding a patch.  Difficulty is sampled per image from a Beta distribution,
+producing the spectrum the Eugene experiments need: easy images that a
+stage-1 classifier already nails with high confidence, and hard images whose
+classification only firms up (or never does) at deeper stages.  This mirrors
+the paper's observation that "identifying a face in a picture could be a very
+easy or a very difficult task, depending on the picture".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn.data import Dataset
+
+
+@dataclass
+class SyntheticImageConfig:
+    """Knobs of the synthetic image distribution."""
+
+    num_classes: int = 10
+    image_size: int = 16
+    channels: int = 3
+    #: Beta(a, b) parameters of the per-sample difficulty distribution.
+    difficulty_alpha: float = 2.0
+    difficulty_beta: float = 2.0
+    #: Template smoothness — larger means lower spatial frequency.
+    smoothness: float = 3.0
+    #: Maximum absolute spatial shift in pixels.
+    max_shift: int = 2
+    #: Probability a sample carries an occluding patch.
+    occlusion_prob: float = 0.3
+    seed: int = 7
+
+
+def _smooth_field(
+    rng: np.random.Generator, size: int, channels: int, smoothness: float
+) -> np.ndarray:
+    """A smooth random field in [-1, 1]^(channels, size, size).
+
+    Built by upsampling coarse white noise bilinearly — cheap and
+    dependency-free low-frequency texture.
+    """
+    coarse = max(2, int(round(size / smoothness)))
+    noise = rng.normal(size=(channels, coarse, coarse))
+    # Bilinear upsample to (size, size).
+    xs = np.linspace(0, coarse - 1, size)
+    x0 = np.clip(np.floor(xs).astype(int), 0, coarse - 2)
+    frac = xs - x0
+    # Interpolate rows then columns.
+    rows = (
+        noise[:, x0, :] * (1 - frac)[None, :, None]
+        + noise[:, x0 + 1, :] * frac[None, :, None]
+    )
+    field = (
+        rows[:, :, x0] * (1 - frac)[None, None, :]
+        + rows[:, :, x0 + 1] * frac[None, None, :]
+    )
+    peak = np.abs(field).max()
+    return field / (peak + 1e-12)
+
+
+class SyntheticImageGenerator:
+    """Seeded generator of the synthetic 10-class image distribution."""
+
+    def __init__(self, config: Optional[SyntheticImageConfig] = None) -> None:
+        self.config = config or SyntheticImageConfig()
+        cfg = self.config
+        if cfg.num_classes < 2:
+            raise ValueError("need at least two classes")
+        template_rng = np.random.default_rng(cfg.seed)
+        self.templates = np.stack(
+            [
+                _smooth_field(template_rng, cfg.image_size, cfg.channels, cfg.smoothness)
+                for _ in range(cfg.num_classes)
+            ]
+        )
+        # A pool of distractor textures used to corrupt hard samples.
+        self.distractors = np.stack(
+            [
+                _smooth_field(template_rng, cfg.image_size, cfg.channels, cfg.smoothness)
+                for _ in range(cfg.num_classes)
+            ]
+        )
+
+    def sample(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        difficulty: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw ``n`` images.
+
+        Returns ``(images, labels, difficulties)`` with images shaped
+        ``(n, channels, size, size)``.  ``difficulty`` may be supplied
+        explicitly (values in [0, 1]); otherwise it is sampled from the
+        configured Beta distribution.
+        """
+        cfg = self.config
+        labels = rng.integers(0, cfg.num_classes, size=n)
+        if difficulty is None:
+            difficulty = rng.beta(cfg.difficulty_alpha, cfg.difficulty_beta, size=n)
+        else:
+            difficulty = np.asarray(difficulty, dtype=np.float64)
+            if difficulty.shape != (n,):
+                raise ValueError(f"difficulty must have shape ({n},)")
+            if difficulty.min() < 0 or difficulty.max() > 1:
+                raise ValueError("difficulty values must lie in [0, 1]")
+
+        size = cfg.image_size
+        images = np.empty((n, cfg.channels, size, size), dtype=np.float64)
+        for i in range(n):
+            d = difficulty[i]
+            template = self.templates[labels[i]]
+            # Random integer shift (wraparound keeps energy constant).
+            if cfg.max_shift > 0:
+                dy, dx = rng.integers(-cfg.max_shift, cfg.max_shift + 1, size=2)
+                template = np.roll(template, (dy, dx), axis=(1, 2))
+            # Signal fades and distractor + noise grow with difficulty.
+            signal = (1.0 - 0.8 * d) * template
+            distractor = self.distractors[rng.integers(0, len(self.distractors))]
+            corrupted = signal + 0.9 * d * distractor
+            corrupted = corrupted + (0.15 + 0.85 * d) * rng.normal(size=template.shape)
+            if rng.random() < cfg.occlusion_prob * d:
+                ph = rng.integers(size // 4, size // 2 + 1)
+                pw = rng.integers(size // 4, size // 2 + 1)
+                top = rng.integers(0, size - ph + 1)
+                left = rng.integers(0, size - pw + 1)
+                corrupted[:, top : top + ph, left : left + pw] = 0.0
+            images[i] = corrupted
+        return images, labels, difficulty
+
+
+def make_image_dataset(
+    n: int,
+    config: Optional[SyntheticImageConfig] = None,
+    seed: int = 0,
+    with_difficulty: bool = False,
+):
+    """Convenience builder returning a :class:`repro.nn.data.Dataset`.
+
+    With ``with_difficulty=True``, returns ``(dataset, difficulties)`` so
+    experiments can stratify by difficulty.
+    """
+    generator = SyntheticImageGenerator(config)
+    rng = np.random.default_rng(seed)
+    images, labels, difficulty = generator.sample(n, rng)
+    dataset = Dataset(images, labels)
+    if with_difficulty:
+        return dataset, difficulty
+    return dataset

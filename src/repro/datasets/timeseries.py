@@ -1,0 +1,95 @@
+"""Synthetic multi-sensor time series — stand-in for mobile-sensing corpora.
+
+The DeepSense-style training service (Section II-A of the paper) operates on
+time-series from multiple sensors (e.g. accelerometer + gyroscope), aligned
+and divided into intervals.  This module generates a seeded activity-
+recognition-like dataset: each class is a distinct mixture of oscillation
+frequencies and amplitudes per sensor, corrupted by realistic noise that is
+correlated across time (AR(1)) rather than white — matching the paper's
+argument that real noise is "non-linear, non-additive, correlated".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn.data import Dataset
+
+
+@dataclass
+class SensorTimeSeriesConfig:
+    num_classes: int = 6
+    num_sensors: int = 2
+    channels_per_sensor: int = 3
+    num_intervals: int = 8
+    samples_per_interval: int = 16
+    noise_scale: float = 0.4
+    #: AR(1) coefficient of the correlated noise process.
+    noise_correlation: float = 0.7
+    seed: int = 13
+
+
+def _class_signature(
+    rng: np.random.Generator, cfg: SensorTimeSeriesConfig
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Frequencies, amplitudes and phases defining one activity class."""
+    shape = (cfg.num_sensors, cfg.channels_per_sensor)
+    freqs = rng.uniform(0.5, 4.0, size=shape)
+    amps = rng.uniform(0.5, 1.5, size=shape)
+    phases = rng.uniform(0, 2 * np.pi, size=shape)
+    return freqs, amps, phases
+
+
+def _ar1_noise(
+    rng: np.random.Generator, rho: float, scale: float, shape: Tuple[int, ...]
+) -> np.ndarray:
+    """Temporally correlated noise along the last axis."""
+    white = rng.normal(scale=scale, size=shape)
+    out = np.empty_like(white)
+    out[..., 0] = white[..., 0]
+    for t in range(1, shape[-1]):
+        out[..., t] = rho * out[..., t - 1] + np.sqrt(1 - rho**2) * white[..., t]
+    return out
+
+
+def make_sensor_dataset(
+    n: int,
+    config: Optional[SensorTimeSeriesConfig] = None,
+    seed: int = 0,
+) -> Dataset:
+    """Generate ``n`` labelled multi-sensor samples.
+
+    Each sample is shaped ``(num_sensors * channels_per_sensor, num_intervals,
+    samples_per_interval)`` — i.e. an NCHW-compatible layout where the
+    "image" is the (interval x time) grid per sensor channel, directly
+    consumable by the Conv2D layers of :mod:`repro.nn` the way DeepSense
+    applies per-sensor CNNs to interval grids.
+    """
+    cfg = config or SensorTimeSeriesConfig()
+    class_rng = np.random.default_rng(cfg.seed)
+    signatures = [_class_signature(class_rng, cfg) for _ in range(cfg.num_classes)]
+
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, cfg.num_classes, size=n)
+    total_t = cfg.num_intervals * cfg.samples_per_interval
+    t = np.linspace(0, 2 * np.pi, total_t)
+
+    channels = cfg.num_sensors * cfg.channels_per_sensor
+    inputs = np.empty((n, channels, cfg.num_intervals, cfg.samples_per_interval))
+    for i in range(n):
+        freqs, amps, phases = signatures[labels[i]]
+        jitter = rng.normal(1.0, 0.05, size=freqs.shape)
+        signal = amps[..., None] * np.sin(
+            (freqs * jitter)[..., None] * t[None, None, :] + phases[..., None]
+        )
+        noise = _ar1_noise(
+            rng, cfg.noise_correlation, cfg.noise_scale, signal.shape
+        )
+        sample = (signal + noise).reshape(
+            channels, cfg.num_intervals, cfg.samples_per_interval
+        )
+        inputs[i] = sample
+    return Dataset(inputs, labels)

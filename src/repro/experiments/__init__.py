@@ -1,0 +1,22 @@
+"""Experiment drivers reproducing every table and figure of the paper.
+
+Each module exposes a ``run_*`` function returning plain dicts/arrays; the
+``benchmarks/`` tree calls these and prints the same rows/series the paper
+reports.  Heavy artifacts (the trained benchmark-scale staged model and its
+stage outputs) are cached on disk by :mod:`repro.experiments.common` so a
+full benchmark run trains each model once.
+
+Experiment index (DESIGN.md §4):
+
+- E1 Table I   — :mod:`repro.experiments.table1`
+- E2 Fig. 2    — :mod:`repro.experiments.fig2`
+- E3 Table II  — :mod:`repro.experiments.table2`
+- E4 Table III — :mod:`repro.experiments.table3`
+- E5 Fig. 4    — :mod:`repro.experiments.fig4`
+- E6 Table IV  — :mod:`repro.experiments.table4`
+- E8 + ablations — :mod:`repro.experiments.ablations`
+"""
+
+from .common import BenchmarkArtifacts, get_benchmark_artifacts
+
+__all__ = ["BenchmarkArtifacts", "get_benchmark_artifacts"]

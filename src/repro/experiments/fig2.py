@@ -1,0 +1,38 @@
+"""E2 — Fig. 2: reliability diagrams without / with entropy calibration."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..calibration.ece import ReliabilityDiagram, reliability_diagram
+from .common import BenchmarkArtifacts, get_benchmark_artifacts
+
+
+def run_fig2(
+    artifacts: BenchmarkArtifacts = None, stage: int = -1, num_bins: int = 10
+) -> Dict[str, ReliabilityDiagram]:
+    """Reliability diagrams of the final-stage classifier on the test set.
+
+    Returns ``{"uncalibrated": ..., "calibrated": ...}`` — the two panels of
+    Fig. 2.  The calibrated diagram must hug the diagonal far more closely.
+    """
+    artifacts = artifacts or get_benchmark_artifacts()
+    stage = stage % artifacts.num_stages
+    before = artifacts.uncalibrated_test_outputs
+    after = artifacts.test_outputs
+    return {
+        "uncalibrated": reliability_diagram(
+            before["confidences"][stage], before["correct"][stage], num_bins
+        ),
+        "calibrated": reliability_diagram(
+            after["confidences"][stage], after["correct"][stage], num_bins
+        ),
+    }
+
+
+def format_fig2(diagrams: Dict[str, ReliabilityDiagram]) -> str:
+    parts = []
+    for name, diagram in diagrams.items():
+        parts.append(f"=== {name} (ECE={diagram.ece():.4f}) ===")
+        parts.append(diagram.render_ascii())
+    return "\n".join(parts)

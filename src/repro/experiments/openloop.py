@@ -1,0 +1,102 @@
+"""Extension experiment: open-loop serving under Poisson and bursty arrivals.
+
+The paper evaluates at fixed concurrency (closed loop).  A deployed Eugene
+server faces open-loop traffic, so we sweep the offered arrival rate and
+measure service accuracy and eviction rates per policy, for both smooth
+(Poisson) and bursty (Markov-modulated) arrivals.  Expected shapes:
+
+- accuracy falls as offered load approaches/exceeds capacity;
+- the utility scheduler degrades more gracefully than FIFO;
+- at equal average rate, bursty traffic hurts more than smooth traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..scheduler.arrivals import bursty_arrivals, poisson_arrivals
+from ..scheduler.confidence import GPConfidencePredictor
+from ..scheduler.policies import FIFOPolicy, RoundRobinPolicy, RTDeepIoTPolicy
+from ..scheduler.simulator import PoolSimulator, SimulationConfig, TaskOracle
+from .common import BenchmarkArtifacts, get_benchmark_artifacts
+
+
+@dataclass
+class OpenLoopConfig:
+    num_workers: int = 2
+    latency_constraint: float = 6.0
+    num_tasks: int = 150
+    #: offered load as a multiple of capacity (workers / 3 stage-times).
+    load_factors: Sequence[float] = (0.5, 0.9, 1.3)
+    seed: int = 0
+
+
+def run_openloop(
+    artifacts: BenchmarkArtifacts = None, config: OpenLoopConfig = None
+) -> Dict[str, List[Dict[str, float]]]:
+    """Returns, per policy, one row per (traffic kind, load factor)."""
+    artifacts = artifacts or get_benchmark_artifacts()
+    config = config or OpenLoopConfig()
+    oracles = TaskOracle.table_from_outputs(artifacts.test_outputs)[: config.num_tasks]
+    predictor = GPConfidencePredictor(
+        num_classes=artifacts.model.config.num_classes, seed=0
+    ).fit(artifacts.train_outputs["confidences"])
+    capacity = config.num_workers / 3.0  # tasks/second at 3 unit stages each
+
+    policies: Dict[str, Callable] = {
+        "RTDeepIoT-1": lambda: RTDeepIoTPolicy(predictor, k=1),
+        "RR": RoundRobinPolicy,
+        "FIFO": FIFOPolicy,
+    }
+    sim_config = SimulationConfig(
+        num_workers=config.num_workers,
+        concurrency=10_000,  # open loop: no admission cap
+        stage_times=(1.0, 1.0, 1.0),
+        latency_constraint=config.latency_constraint,
+    )
+
+    results: Dict[str, List[Dict[str, float]]] = {name: [] for name in policies}
+    for kind in ("poisson", "bursty"):
+        for load in config.load_factors:
+            rate = load * capacity
+            if kind == "poisson":
+                arrivals = poisson_arrivals(config.num_tasks, rate=rate,
+                                            seed=config.seed)
+            else:
+                arrivals = bursty_arrivals(
+                    config.num_tasks,
+                    quiet_rate=rate / 3.0,
+                    burst_rate=rate * 3.0,
+                    seed=config.seed,
+                )
+            for name, factory in policies.items():
+                sim = PoolSimulator(oracles, factory(), sim_config,
+                                    arrival_times=arrivals)
+                episode = sim.run()
+                results[name].append(
+                    {
+                        "traffic": kind,
+                        "load_factor": load,
+                        "accuracy": episode.accuracy,
+                        "eviction_rate": episode.num_evicted / episode.num_tasks,
+                        "mean_stages": float(episode.stages_executed.mean()),
+                    }
+                )
+    return results
+
+
+def format_openloop(results: Dict[str, List[Dict[str, float]]]) -> str:
+    rows = next(iter(results.values()))
+    header = f"{'policy':14} {'traffic':>8} {'load':>6} {'accuracy':>9} {'evicted':>8} {'stages':>7}"
+    lines = [header, "-" * len(header)]
+    for name, policy_rows in results.items():
+        for r in policy_rows:
+            lines.append(
+                f"{name:14} {r['traffic']:>8} {r['load_factor']:>6.2f} "
+                f"{100 * r['accuracy']:>8.1f}% {100 * r['eviction_rate']:>7.1f}% "
+                f"{r['mean_stages']:>7.2f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""E1 — Table I: conv-layer execution time vs FLOPs non-linearity."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..profiling.cost_model import (
+    MobileDeviceCostModel,
+    TABLE1_CONFIGS,
+    TABLE1_TIMES_MS,
+)
+from ..profiling.profiler import PiecewiseLinearProfiler, generate_profiling_samples
+
+
+def run_table1() -> List[Dict[str, float]]:
+    """Reproduce Table I on the synthetic device, with profiler predictions.
+
+    Returns one row per CNN1..CNN4 with the paper's published time, our cost
+    model's time, and the learned profiler's prediction.
+    """
+    device = MobileDeviceCostModel()
+    profiler = PiecewiseLinearProfiler().fit(
+        generate_profiling_samples(MobileDeviceCostModel(noise=0.02, seed=1), 400, seed=0)
+    )
+    rows = []
+    for name, spec in TABLE1_CONFIGS.items():
+        rows.append(
+            {
+                "layer": name,
+                "in_channels": spec.in_channels,
+                "out_channels": spec.out_channels,
+                "flops_m": spec.flops / 1e6,
+                "paper_time_ms": TABLE1_TIMES_MS[name],
+                "model_time_ms": device.execution_time_ms(spec),
+                "profiler_time_ms": profiler.predict_one(spec),
+            }
+        )
+    return rows
+
+
+def format_table1(rows: List[Dict[str, float]]) -> str:
+    header = (
+        f"{'layer':6} {'in':>4} {'out':>4} {'FLOPs (M)':>10} "
+        f"{'paper (ms)':>11} {'model (ms)':>11} {'profiler (ms)':>14}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r['layer']:6} {r['in_channels']:>4} {r['out_channels']:>4} "
+            f"{r['flops_m']:>10.1f} {r['paper_time_ms']:>11.1f} "
+            f"{r['model_time_ms']:>11.1f} {r['profiler_time_ms']:>14.1f}"
+        )
+    return "\n".join(lines)

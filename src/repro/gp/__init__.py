@@ -1,0 +1,22 @@
+"""Gaussian-process regression and its piecewise-linear runtime approximation.
+
+Section III-B of the paper predicts confidence in results of *future* stages
+from confidence observed at already-executed stages using Gaussian-process
+regression models (GP1→2, GP1→3, GP2→3), then — because "Gaussian process is
+notorious for its long inference time" — approximates each fitted GP by a
+piecewise-linear function profiled on a grid over the bounded input domain
+[0, 1].
+"""
+
+from .kernels import RBFKernel, Matern52Kernel, Kernel
+from .regression import GPRegression
+from .piecewise import PiecewiseLinear, approximate_gp
+
+__all__ = [
+    "Kernel",
+    "RBFKernel",
+    "Matern52Kernel",
+    "GPRegression",
+    "PiecewiseLinear",
+    "approximate_gp",
+]

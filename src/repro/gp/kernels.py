@@ -1,0 +1,55 @@
+"""Covariance kernels for Gaussian-process regression."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _pairwise_sq_dists(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between row sets ``a`` (n,d) and ``b`` (m,d)."""
+    a = np.atleast_2d(a)
+    b = np.atleast_2d(b)
+    diff = a[:, None, :] - b[None, :, :]
+    return (diff**2).sum(axis=-1)
+
+
+class Kernel:
+    """Base covariance function."""
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass
+class RBFKernel(Kernel):
+    """Squared-exponential kernel: ``s^2 exp(-d^2 / (2 l^2))``."""
+
+    length_scale: float = 0.2
+    signal_variance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.length_scale <= 0 or self.signal_variance <= 0:
+            raise ValueError("kernel hyper-parameters must be positive")
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        sq = _pairwise_sq_dists(a, b)
+        return self.signal_variance * np.exp(-0.5 * sq / self.length_scale**2)
+
+
+@dataclass
+class Matern52Kernel(Kernel):
+    """Matern-5/2 kernel — rougher sample paths than RBF."""
+
+    length_scale: float = 0.2
+    signal_variance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.length_scale <= 0 or self.signal_variance <= 0:
+            raise ValueError("kernel hyper-parameters must be positive")
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        d = np.sqrt(np.maximum(_pairwise_sq_dists(a, b), 0.0))
+        z = np.sqrt(5.0) * d / self.length_scale
+        return self.signal_variance * (1.0 + z + z**2 / 3.0) * np.exp(-z)

@@ -1,0 +1,65 @@
+"""Piecewise-linear approximation of a fitted GP (Sec. III-B, runtime path).
+
+The paper's two-step recipe, verbatim:
+
+1. profile the Gaussian-process regression model with a set of input
+   confidences ``{0, 1/M, ..., 1}``;
+2. connect these profiling points with a piecewise-linear function.
+
+The resulting :class:`PiecewiseLinear` evaluates in O(log M) per query with
+tiny constants, which is what the scheduler calls on its hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .regression import GPRegression
+
+
+@dataclass(frozen=True)
+class PiecewiseLinear:
+    """Linear interpolation over fixed knots; clamps outside the domain."""
+
+    knots_x: np.ndarray
+    knots_y: np.ndarray
+
+    def __post_init__(self) -> None:
+        x = np.asarray(self.knots_x, dtype=np.float64)
+        y = np.asarray(self.knots_y, dtype=np.float64)
+        if x.ndim != 1 or x.shape != y.shape or len(x) < 2:
+            raise ValueError("need matching 1-D knot arrays with >= 2 knots")
+        if not (np.diff(x) > 0).all():
+            raise ValueError("knots_x must be strictly increasing")
+        object.__setattr__(self, "knots_x", x)
+        object.__setattr__(self, "knots_y", y)
+
+    def __call__(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return np.interp(x, self.knots_x, self.knots_y)
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.knots_x) - 1
+
+
+def approximate_gp(
+    gp: GPRegression,
+    num_points: int = 10,
+    domain: Tuple[float, float] = (0.0, 1.0),
+) -> PiecewiseLinear:
+    """Profile ``gp`` at ``num_points + 1`` equispaced inputs and connect them.
+
+    ``num_points`` is the M of the paper's grid {0, 1/M, ..., 1}.
+    """
+    if num_points < 1:
+        raise ValueError("num_points must be >= 1")
+    lo, hi = domain
+    if hi <= lo:
+        raise ValueError("empty domain")
+    xs = np.linspace(lo, hi, num_points + 1)
+    ys, _ = gp.predict(xs)
+    return PiecewiseLinear(xs, ys)

@@ -1,0 +1,21 @@
+"""Automatic data labeling (Sec. II-A) — the SenseGAN substrate.
+
+Implements the paper's GAN-based semi-supervised labeling game: "one entity
+proposes labels for unlabeled samples, whereas another tries to distinguish
+the resulting labeled samples from the original labeled ones", plus a
+plain self-training baseline for the ablation.
+"""
+
+from .semi_supervised import (
+    LabelingReport,
+    SenseGANConfig,
+    SenseGANLabeler,
+    self_training_labels,
+)
+
+__all__ = [
+    "SenseGANLabeler",
+    "SenseGANConfig",
+    "LabelingReport",
+    "self_training_labels",
+]

@@ -1,0 +1,106 @@
+"""Numpy deep-learning substrate (replaces TensorFlow in the reproduction).
+
+Public surface:
+
+- :class:`~repro.nn.tensor.Tensor` — reverse-mode autograd array
+- :mod:`repro.nn.functional` — conv2d / pooling / softmax ops
+- :mod:`repro.nn.layers` — Module, Dense, Conv2D, BatchNorm, Dropout, ...
+- :mod:`repro.nn.losses` — cross entropy, Eq. (4) entropy regularizer, RDeepSense loss
+- :mod:`repro.nn.optim` — SGD / Adam / StepLR
+- :class:`~repro.nn.resnet.StagedResNet` — the paper's Fig. 3 topology
+- :mod:`repro.nn.training` — joint staged training loops
+"""
+
+from . import functional
+from .data import DataLoader, Dataset
+from .layers import (
+    BatchNorm1D,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    MaxPool2D,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from .losses import (
+    cross_entropy,
+    entropy,
+    entropy_regularized_ce,
+    gaussian_nll,
+    gaussian_nll_mse,
+    mae,
+    mse,
+)
+from .optim import SGD, Adam, StepLR, clip_grad_norm
+from .resnet import ResidualBlock, StageClassifier, StagedResNet, StagedResNetConfig
+from .rnn import GRU, GRUCell
+from .serialization import load_staged_model, model_size_bytes, save_staged_model
+from .deepsense import DeepSense, DeepSenseConfig
+from .tensor import Tensor, as_tensor, concatenate, numeric_gradient, stack, where
+from .training import (
+    TrainReport,
+    collect_stage_outputs,
+    evaluate_stage_accuracy,
+    staged_loss,
+    train_staged_model,
+)
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concatenate",
+    "stack",
+    "where",
+    "numeric_gradient",
+    "functional",
+    "Dataset",
+    "DataLoader",
+    "Module",
+    "Parameter",
+    "Dense",
+    "Conv2D",
+    "BatchNorm1D",
+    "BatchNorm2D",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool2D",
+    "MaxPool2D",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Sequential",
+    "cross_entropy",
+    "entropy",
+    "entropy_regularized_ce",
+    "gaussian_nll",
+    "gaussian_nll_mse",
+    "mae",
+    "mse",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "clip_grad_norm",
+    "StagedResNet",
+    "GRU",
+    "GRUCell",
+    "DeepSense",
+    "DeepSenseConfig",
+    "save_staged_model",
+    "load_staged_model",
+    "model_size_bytes",
+    "StagedResNetConfig",
+    "ResidualBlock",
+    "StageClassifier",
+    "TrainReport",
+    "staged_loss",
+    "train_staged_model",
+    "evaluate_stage_accuracy",
+    "collect_stage_outputs",
+]

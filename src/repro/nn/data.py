@@ -1,0 +1,78 @@
+"""Dataset / DataLoader utilities for training :mod:`repro.nn` models."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Dataset:
+    """An in-memory supervised dataset of (inputs, labels)."""
+
+    def __init__(self, inputs: np.ndarray, labels: np.ndarray) -> None:
+        inputs = np.asarray(inputs)
+        labels = np.asarray(labels)
+        if len(inputs) != len(labels):
+            raise ValueError(
+                f"inputs ({len(inputs)}) and labels ({len(labels)}) differ in length"
+            )
+        self.inputs = inputs
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    def __getitem__(self, index) -> Tuple[np.ndarray, np.ndarray]:
+        return self.inputs[index], self.labels[index]
+
+    def subset(self, indices: Sequence[int]) -> "Dataset":
+        indices = np.asarray(indices)
+        return Dataset(self.inputs[indices], self.labels[indices])
+
+    def split(
+        self, fraction: float, rng: Optional[np.random.Generator] = None
+    ) -> Tuple["Dataset", "Dataset"]:
+        """Random split into (first, second) with ``fraction`` going to first."""
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+        rng = rng or np.random.default_rng(0)
+        order = rng.permutation(len(self))
+        cut = int(round(fraction * len(self)))
+        return self.subset(order[:cut]), self.subset(order[cut:])
+
+
+class DataLoader:
+    """Mini-batch iterator over a :class:`Dataset`."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        seed: int = 0,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                break
+            yield self.dataset.inputs[idx], self.dataset.labels[idx]

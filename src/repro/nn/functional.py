@@ -1,0 +1,233 @@
+"""Neural-network operations built on the :mod:`repro.nn.tensor` autograd engine.
+
+Implements the convolution/pooling/softmax machinery required by the staged
+ResNet of the Eugene paper (Fig. 3).  Convolutions use the im2col lowering so
+the heavy lifting happens inside a single BLAS matmul per layer, which keeps
+pure-numpy training of the synthetic-CIFAR models tractable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+
+# ----------------------------------------------------------------------
+# im2col / col2im lowering
+# ----------------------------------------------------------------------
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution along one axis."""
+    return (size + 2 * pad - kernel) // stride + 1
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, pad: int
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Lower NCHW input to column form.
+
+    Returns ``(cols, (out_h, out_w))`` where ``cols`` has shape
+    ``(N, C * kernel * kernel, out_h * out_w)``.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel, stride, pad)
+    out_w = conv_output_size(w, kernel, stride, pad)
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+
+    cols = np.empty((n, c, kernel, kernel, out_h, out_w), dtype=x.dtype)
+    for ki in range(kernel):
+        i_max = ki + stride * out_h
+        for kj in range(kernel):
+            j_max = kj + stride * out_w
+            cols[:, :, ki, kj, :, :] = x[:, :, ki:i_max:stride, kj:j_max:stride]
+    return cols.reshape(n, c * kernel * kernel, out_h * out_w), (out_h, out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back to NCHW."""
+    n, c, h, w = input_shape
+    out_h = conv_output_size(h, kernel, stride, pad)
+    out_w = conv_output_size(w, kernel, stride, pad)
+    cols = cols.reshape(n, c, kernel, kernel, out_h, out_w)
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    for ki in range(kernel):
+        i_max = ki + stride * out_h
+        for kj in range(kernel):
+            j_max = kj + stride * out_w
+            padded[:, :, ki:i_max:stride, kj:j_max:stride] += cols[:, :, ki, kj, :, :]
+    if pad > 0:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded
+
+
+# ----------------------------------------------------------------------
+# Convolution / pooling
+# ----------------------------------------------------------------------
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D convolution over NCHW input.
+
+    ``weight`` has shape ``(out_channels, in_channels, k, k)``; ``bias`` (if
+    given) has shape ``(out_channels,)``.
+    """
+    x, weight = as_tensor(x), as_tensor(weight)
+    n = x.shape[0]
+    out_c, in_c, kernel, kernel_w = weight.shape
+    if kernel != kernel_w:
+        raise ValueError("only square kernels are supported")
+    if x.shape[1] != in_c:
+        raise ValueError(
+            f"input has {x.shape[1]} channels but weight expects {in_c}"
+        )
+
+    cols, (out_h, out_w) = im2col(x.data, kernel, stride, padding)
+    w2 = weight.data.reshape(out_c, -1)
+    out_data = np.einsum("of,nfp->nop", w2, cols, optimize=True)
+    out_data = out_data.reshape(n, out_c, out_h, out_w)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, out_c, 1, 1)
+
+    input_shape = x.shape
+
+    def backward_fn(grad: np.ndarray) -> None:
+        grad2 = grad.reshape(n, out_c, out_h * out_w)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if weight.requires_grad:
+            dw = np.einsum("nop,nfp->of", grad2, cols, optimize=True)
+            weight._accumulate(dw.reshape(weight.shape))
+        if x.requires_grad:
+            dcols = np.einsum("of,nop->nfp", w2, grad2, optimize=True)
+            x._accumulate(col2im(dcols, input_shape, kernel, stride, padding))
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._make(out_data, parents, backward_fn, "conv2d")
+
+
+def max_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
+    """Max pooling over NCHW input (non-overlapping by default)."""
+    x = as_tensor(x)
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    cols, (out_h, out_w) = im2col(
+        x.data.reshape(n * c, 1, h, w), kernel, stride, 0
+    )
+    # cols: (n*c, kernel*kernel, out_h*out_w)
+    argmax = cols.argmax(axis=1)
+    out_data = np.take_along_axis(cols, argmax[:, None, :], axis=1)[:, 0, :]
+    out_data = out_data.reshape(n, c, out_h, out_w)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        dcols = np.zeros_like(cols)
+        np.put_along_axis(
+            dcols, argmax[:, None, :], grad.reshape(n * c, 1, out_h * out_w), axis=1
+        )
+        dx = col2im(dcols, (n * c, 1, h, w), kernel, stride, 0)
+        x._accumulate(dx.reshape(n, c, h, w))
+
+    return Tensor._make(out_data, (x,), backward_fn, "max_pool2d")
+
+
+def avg_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
+    """Average pooling over NCHW input."""
+    x = as_tensor(x)
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    cols, (out_h, out_w) = im2col(x.data.reshape(n * c, 1, h, w), kernel, stride, 0)
+    out_data = cols.mean(axis=1).reshape(n, c, out_h, out_w)
+    denom = kernel * kernel
+
+    def backward_fn(grad: np.ndarray) -> None:
+        g = grad.reshape(n * c, 1, out_h * out_w) / denom
+        dcols = np.broadcast_to(g, cols.shape).astype(grad.dtype)
+        dx = col2im(dcols, (n * c, 1, h, w), kernel, stride, 0)
+        x._accumulate(dx.reshape(n, c, h, w))
+
+    return Tensor._make(out_data, (x,), backward_fn, "avg_pool2d")
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Spatially average NCHW features to (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+# ----------------------------------------------------------------------
+# Softmax family
+# ----------------------------------------------------------------------
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    logsumexp = np.log(exp.sum(axis=axis, keepdims=True))
+    out_data = shifted - logsumexp
+    softmax_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        x._accumulate(grad - softmax_data * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (x,), backward_fn, "log_softmax")
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        x._accumulate(out_data * (grad - dot))
+
+    return Tensor._make(out_data, (x,), backward_fn, "softmax")
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1/(1-rate)``."""
+    if not training or rate <= 0.0:
+        return x
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    x = as_tensor(x)
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep) / keep
+
+    def backward_fn(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward_fn, "dropout")
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels ``(N,)`` to a one-hot float matrix ``(N, num_classes)``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError("labels must be a 1-D integer array")
+    if labels.min(initial=0) < 0 or (labels.size and labels.max() >= num_classes):
+        raise ValueError("label out of range")
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight + bias`` (weight shape: (in, out))."""
+    out = as_tensor(x) @ weight
+    if bias is not None:
+        out = out + bias
+    return out

@@ -1,0 +1,87 @@
+"""Classification metrics shared by the experiments and services."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+
+def _validate_labels(predictions: np.ndarray, labels: np.ndarray) -> None:
+    if predictions.shape != labels.shape or predictions.ndim != 1:
+        raise ValueError("predictions and labels must be matching 1-D arrays")
+    if predictions.size == 0:
+        raise ValueError("cannot score zero samples")
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    _validate_labels(predictions, labels)
+    return float((predictions == labels).mean())
+
+
+def top_k_accuracy(probabilities: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Fraction of samples whose true label is among the k most probable."""
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if probabilities.ndim != 2 or len(probabilities) != len(labels):
+        raise ValueError("probabilities must be (N, C) matching labels (N,)")
+    if not 1 <= k <= probabilities.shape[1]:
+        raise ValueError(f"k must be in [1, {probabilities.shape[1]}]")
+    top = np.argpartition(probabilities, -k, axis=1)[:, -k:]
+    return float((top == labels[:, None]).any(axis=1).mean())
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: Optional[int] = None
+) -> np.ndarray:
+    """(num_classes, num_classes) matrix: rows = truth, columns = prediction."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    _validate_labels(predictions, labels)
+    if num_classes is None:
+        num_classes = int(max(predictions.max(), labels.max())) + 1
+    if predictions.min() < 0 or labels.min() < 0:
+        raise ValueError("labels must be non-negative")
+    if max(predictions.max(), labels.max()) >= num_classes:
+        raise ValueError("label exceeds num_classes")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+def per_class_f1(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: Optional[int] = None
+) -> np.ndarray:
+    """Per-class F1 scores (0 where a class has no support and no predictions)."""
+    matrix = confusion_matrix(predictions, labels, num_classes)
+    tp = np.diag(matrix).astype(np.float64)
+    fp = matrix.sum(axis=0) - tp
+    fn = matrix.sum(axis=1) - tp
+    denom = 2 * tp + fp + fn
+    with np.errstate(invalid="ignore", divide="ignore"):
+        f1 = np.where(denom > 0, 2 * tp / denom, 0.0)
+    return f1
+
+
+def macro_f1(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: Optional[int] = None
+) -> float:
+    """Unweighted mean of per-class F1 over classes that appear in truth."""
+    matrix = confusion_matrix(predictions, labels, num_classes)
+    support = matrix.sum(axis=1) > 0
+    f1 = per_class_f1(predictions, labels, num_classes)
+    return float(f1[support].mean())
+
+
+def classification_report(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: Optional[int] = None
+) -> Dict[str, float]:
+    """Headline scalar metrics in one dict."""
+    return {
+        "accuracy": accuracy(predictions, labels),
+        "macro_f1": macro_f1(predictions, labels, num_classes),
+        "num_samples": float(len(np.asarray(labels))),
+    }

@@ -1,0 +1,86 @@
+"""Recurrent layers for the :mod:`repro.nn` substrate.
+
+DeepSense (Sec. II-A) stacks a recurrent network on top of its convolutional
+sensor-fusion layers "to extract temporal trends".  This module provides a
+GRU cell/layer built on the autograd engine — sufficient for interval-level
+temporal modelling at numpy-trainable scale.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from . import init as initializers
+from .layers import Module, Parameter
+from .tensor import Tensor, as_tensor, stack
+
+
+class GRUCell(Module):
+    """A single gated-recurrent-unit step.
+
+    h' = (1 - z) * h + z * tanh(W_n x + b_n + r * (U_n h))
+    with update gate z and reset gate r computed from (x, h).
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        # One fused weight per source, producing [r | z | n] pre-activations.
+        self.w_input = Parameter(
+            initializers.xavier_uniform((input_size, 3 * hidden_size), rng)
+        )
+        self.w_hidden = Parameter(
+            initializers.xavier_uniform((hidden_size, 3 * hidden_size), rng)
+        )
+        self.bias = Parameter(initializers.zeros((3 * hidden_size,)))
+
+    def forward(self, x: Tensor, hidden: Optional[Tensor] = None) -> Tensor:
+        x = as_tensor(x)
+        if x.ndim != 2 or x.shape[1] != self.input_size:
+            raise ValueError(
+                f"expected input (N, {self.input_size}), got {x.shape}"
+            )
+        if hidden is None:
+            hidden = Tensor(np.zeros((x.shape[0], self.hidden_size)))
+        h = self.hidden_size
+        gates_x = x @ self.w_input + self.bias
+        gates_h = hidden @ self.w_hidden
+        r = (gates_x[:, 0:h] + gates_h[:, 0:h]).sigmoid()
+        z = (gates_x[:, h : 2 * h] + gates_h[:, h : 2 * h]).sigmoid()
+        n = (gates_x[:, 2 * h : 3 * h] + r * gates_h[:, 2 * h : 3 * h]).tanh()
+        one = Tensor(np.ones_like(z.data))
+        return (one - z) * hidden + z * n
+
+
+class GRU(Module):
+    """Unidirectional GRU over a (N, T, F) sequence."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.cell = GRUCell(input_size, hidden_size, rng=rng)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+
+    def forward(self, x: Tensor, hidden: Optional[Tensor] = None) -> Tuple[Tensor, Tensor]:
+        """Returns ``(outputs, last_hidden)``; outputs shaped (N, T, H)."""
+        x = as_tensor(x)
+        if x.ndim != 3 or x.shape[2] != self.input_size:
+            raise ValueError(f"expected (N, T, {self.input_size}), got {x.shape}")
+        steps: List[Tensor] = []
+        state = hidden
+        for t in range(x.shape[1]):
+            state = self.cell(x[:, t, :], state)
+            steps.append(state)
+        outputs = stack(steps, axis=1)
+        return outputs, state
+
+    def last_output(self, x: Tensor) -> Tensor:
+        """Convenience: just the final hidden state."""
+        _, state = self.forward(x)
+        return state

@@ -1,0 +1,78 @@
+"""Model serialization: the wire format of the Eugene caching service.
+
+The caching service pushes reduced models to edge devices (Sec. II-B); this
+module defines the artifact it ships: a single ``.npz`` holding the model's
+configuration and its full state dict (parameters *and* buffers).  The
+format is dependency-free and versioned.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .resnet import StagedResNet, StagedResNetConfig
+
+_FORMAT_VERSION = 1
+
+
+def save_staged_model(model: StagedResNet, path: Union[str, Path]) -> Path:
+    """Serialize a staged model (config + weights + buffers) to ``path``."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    cfg = model.config
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "num_classes": cfg.num_classes,
+        "in_channels": cfg.in_channels,
+        "image_size": cfg.image_size,
+        "stage_channels": list(cfg.stage_channels),
+        "blocks_per_stage": cfg.blocks_per_stage,
+        "seed": cfg.seed,
+    }
+    arrays = {f"state/{k}": v for k, v in model.state_dict().items()}
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_staged_model(path: Union[str, Path]) -> StagedResNet:
+    """Reconstruct a staged model saved by :func:`save_staged_model`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        if "__meta__" not in archive:
+            raise ValueError(f"{path} is not a staged-model archive")
+        meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported archive version {meta.get('format_version')}"
+            )
+        config = StagedResNetConfig(
+            num_classes=meta["num_classes"],
+            in_channels=meta["in_channels"],
+            image_size=meta["image_size"],
+            stage_channels=tuple(meta["stage_channels"]),
+            blocks_per_stage=meta["blocks_per_stage"],
+            seed=meta["seed"],
+        )
+        state = {
+            key[len("state/"):]: archive[key]
+            for key in archive.files
+            if key.startswith("state/")
+        }
+    model = StagedResNet(config)
+    model.load_state_dict(state)
+    model.eval()
+    return model
+
+
+def model_size_bytes(path: Union[str, Path]) -> int:
+    """On-disk size of a serialized model — the caching download cost."""
+    return Path(path).stat().st_size

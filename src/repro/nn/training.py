@@ -1,0 +1,156 @@
+"""Training loops for staged models.
+
+The staged ResNet is trained with a joint objective: the sum of per-stage
+cross entropies, so every early-exit classifier is useful on its own.  The
+same loop accepts the entropy regularizer of Eq. (4), which is how the
+RTDeepIoT calibration fine-tuning is implemented (see
+:mod:`repro.calibration.entropy_reg`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from . import functional as F
+from .data import DataLoader, Dataset
+from .losses import cross_entropy, entropy
+from .optim import Adam, Optimizer, clip_grad_norm
+from .resnet import StagedResNet
+from .tensor import Tensor
+
+
+@dataclass
+class TrainReport:
+    """Per-epoch training trace."""
+
+    epoch_losses: List[float] = field(default_factory=list)
+    epoch_accuracies: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+
+def staged_loss(
+    logits: Sequence[Tensor],
+    labels: np.ndarray,
+    stage_weights: Optional[Sequence[float]] = None,
+    alpha: float = 0.0,
+) -> Tensor:
+    """Weighted sum of per-stage cross entropies, plus optional entropy term.
+
+    ``alpha`` follows Eq. (4): positive alpha penalizes high-entropy
+    (low-confidence) outputs, negative alpha rewards them.
+    """
+    if stage_weights is None:
+        stage_weights = [1.0] * len(logits)
+    if len(stage_weights) != len(logits):
+        raise ValueError("one weight per stage required")
+    total: Optional[Tensor] = None
+    for weight, stage_logits in zip(stage_weights, logits):
+        term = cross_entropy(stage_logits, labels)
+        if alpha != 0.0:
+            probs = F.softmax(stage_logits, axis=-1)
+            term = term + alpha * entropy(probs)
+        term = weight * term
+        total = term if total is None else total + term
+    assert total is not None
+    return total
+
+
+def train_staged_model(
+    model: StagedResNet,
+    train_set: Dataset,
+    epochs: int = 5,
+    batch_size: int = 64,
+    lr: float = 1e-3,
+    alpha: float = 0.0,
+    stage_weights: Optional[Sequence[float]] = None,
+    optimizer: Optional[Optimizer] = None,
+    grad_clip: float = 5.0,
+    seed: int = 0,
+    on_epoch_end: Optional[Callable[[int, float], None]] = None,
+) -> TrainReport:
+    """Train a staged model with the joint per-stage objective."""
+    optimizer = optimizer or Adam(model.parameters(), lr=lr)
+    loader = DataLoader(train_set, batch_size=batch_size, shuffle=True, seed=seed)
+    report = TrainReport()
+    model.train()
+    for epoch in range(epochs):
+        losses: List[float] = []
+        correct = 0
+        seen = 0
+        for inputs, labels in loader:
+            logits = model(Tensor(inputs))
+            loss = staged_loss(logits, labels, stage_weights, alpha=alpha)
+            optimizer.zero_grad()
+            loss.backward()
+            if grad_clip:
+                clip_grad_norm(model.parameters(), grad_clip)
+            optimizer.step()
+            losses.append(loss.item())
+            correct += int((logits[-1].data.argmax(axis=-1) == labels).sum())
+            seen += len(labels)
+        epoch_loss = float(np.mean(losses))
+        report.epoch_losses.append(epoch_loss)
+        report.epoch_accuracies.append(correct / max(seen, 1))
+        if on_epoch_end is not None:
+            on_epoch_end(epoch, epoch_loss)
+    model.eval()
+    return report
+
+
+def evaluate_stage_accuracy(
+    model: StagedResNet, dataset: Dataset, batch_size: int = 128
+) -> np.ndarray:
+    """Top-1 accuracy of every stage classifier on ``dataset``."""
+    model.eval()
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+    correct = np.zeros(model.num_stages, dtype=np.int64)
+    total = 0
+    for inputs, labels in loader:
+        probs = model.predict_proba(inputs)
+        for s, p in enumerate(probs):
+            correct[s] += int((p.argmax(axis=-1) == labels).sum())
+        total += len(labels)
+    return correct / max(total, 1)
+
+
+def collect_stage_outputs(
+    model: StagedResNet, dataset: Dataset, batch_size: int = 128
+) -> dict:
+    """Run the model over ``dataset`` and gather per-stage outputs.
+
+    Returns a dict with keys:
+
+    - ``confidences``: (num_stages, N) top-1 confidence per stage
+    - ``predictions``: (num_stages, N) argmax class per stage
+    - ``correct``: (num_stages, N) boolean correctness per stage
+    - ``labels``: (N,) ground truth
+
+    This is the raw material for the ECE evaluation (Table II), the GP
+    confidence-curve models (Table III) and the scheduling experiments
+    (Fig. 4).
+    """
+    model.eval()
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+    confs: List[np.ndarray] = []
+    preds: List[np.ndarray] = []
+    labels_all: List[np.ndarray] = []
+    for inputs, labels in loader:
+        probs = model.predict_proba(inputs)
+        confs.append(np.stack([p.max(axis=-1) for p in probs], axis=0))
+        preds.append(np.stack([p.argmax(axis=-1) for p in probs], axis=0))
+        labels_all.append(labels)
+    confidences = np.concatenate(confs, axis=1)
+    predictions = np.concatenate(preds, axis=1)
+    labels_arr = np.concatenate(labels_all)
+    return {
+        "confidences": confidences,
+        "predictions": predictions,
+        "correct": predictions == labels_arr[None, :],
+        "labels": labels_arr,
+    }

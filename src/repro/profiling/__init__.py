@@ -1,0 +1,30 @@
+"""Execution profiling (Sec. II-C, Table I) — the FastDeepIoT substrate.
+
+Two halves:
+
+- :mod:`repro.profiling.cost_model` — a synthetic mobile-device latency
+  model calibrated so the four convolutional configurations of Table I
+  reproduce the paper's measured times, including both non-linear effects
+  (equal-FLOPs layers differing ~2.6x; a higher-FLOPs layer running faster);
+- :mod:`repro.profiling.profiler` — an automated profiler that, like
+  FastDeepIoT [9], "breaks execution models into piece-wise linear regions
+  and uses regression over the relevant neural network parameters within
+  each region" to predict execution time.
+"""
+
+from .cost_model import ConvLayerSpec, MobileDeviceCostModel, TABLE1_CONFIGS
+from .optimizer import CandidateLayer, LayerOptimizer
+from .profiler import PiecewiseLinearProfiler, ProfileSample, generate_profiling_samples
+from .stage_costs import stage_execution_times
+
+__all__ = [
+    "ConvLayerSpec",
+    "MobileDeviceCostModel",
+    "TABLE1_CONFIGS",
+    "PiecewiseLinearProfiler",
+    "ProfileSample",
+    "generate_profiling_samples",
+    "stage_execution_times",
+    "LayerOptimizer",
+    "CandidateLayer",
+]

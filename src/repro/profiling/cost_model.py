@@ -1,0 +1,190 @@
+"""Synthetic mobile-device latency model (the Table I substitute).
+
+The paper reproduces (from FastDeepIoT [9]) measurements on a Nexus 5 phone
+showing that execution time of convolutional layers is *not* a linear
+function of FLOPs:
+
+====== ========== =========== ========= =========
+layer  in channel out channel FLOPs     time (ms)
+====== ========== =========== ========= =========
+CNN1   8          32          452.4 M   114.9
+CNN2   32         8           452.4 M   300.2
+CNN3   66         32          3732.3 M  908.3
+CNN4   43         64          4863.3 M  751.7
+====== ========== =========== ========= =========
+
+We have no phone, so we build a deterministic cost model with the two
+physical mechanisms that produce exactly these anomalies, calibrated so the
+four published rows come out (nearly) verbatim:
+
+1. **Output-channel lane utilization** (CNN1 vs CNN2, and the CNN3-vs-CNN4
+   inversion): per-MAC cost falls as output channels grow because weight
+   reuse and thread-pool saturation improve; few output channels leave SIMD
+   lanes idle.  Modelled as a piecewise-linear factor over ``out_channels``
+   calibrated to the four published rows (CNN2's 8 output channels are
+   ~2.7x as expensive per MAC as CNN1's 32; CNN4's 64 output channels are
+   cheap enough per MAC to beat CNN3 despite 30% more FLOPs).
+2. **Input working-set cache cliff**: when the per-pixel input working set
+   (``kernel^2 * in_channels``) exceeds the L2-resident budget (96 channels
+   at 3x3 — above every Table I row), the per-MAC rate jumps.  This adds a
+   second non-linear regime the profiler must discover.
+
+The model is intentionally *piecewise linear in its parameters* — that is
+FastDeepIoT's empirical finding, and it is what makes the profiler of
+:mod:`repro.profiling.profiler` able to learn it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConvLayerSpec:
+    """Parameters of one convolutional layer, the profiler's feature space."""
+
+    in_channels: int
+    out_channels: int
+    kernel: int = 3
+    stride: int = 1
+    input_size: int = 224
+
+    def __post_init__(self) -> None:
+        if min(self.in_channels, self.out_channels, self.kernel, self.stride,
+               self.input_size) < 1:
+            raise ValueError("all layer parameters must be positive")
+
+    @property
+    def output_size(self) -> int:
+        """Spatial output size under 'same' padding."""
+        return (self.input_size + self.stride - 1) // self.stride
+
+    @property
+    def macs(self) -> float:
+        """Multiply-accumulate operations."""
+        return (
+            self.kernel**2
+            * self.in_channels
+            * self.out_channels
+            * self.output_size**2
+        )
+
+    @property
+    def flops(self) -> float:
+        """FLOPs = 2 * MACs (one multiply + one add)."""
+        return 2.0 * self.macs
+
+    @property
+    def working_set(self) -> int:
+        """Per-output-pixel input working set, the cache-cliff feature."""
+        return self.kernel**2 * self.in_channels
+
+    def features(self) -> np.ndarray:
+        """Feature vector used by the profiler's regression."""
+        return np.array(
+            [
+                self.in_channels,
+                self.out_channels,
+                self.kernel,
+                self.stride,
+                self.input_size,
+                self.macs / 1e9,
+            ],
+            dtype=np.float64,
+        )
+
+    @staticmethod
+    def feature_names() -> List[str]:
+        return ["in_channels", "out_channels", "kernel", "stride", "input_size", "gmacs"]
+
+
+#: The paper's Table I configurations (3x3 kernels, stride 1, 224x224 input).
+TABLE1_CONFIGS: Dict[str, ConvLayerSpec] = {
+    "CNN1": ConvLayerSpec(in_channels=8, out_channels=32),
+    "CNN2": ConvLayerSpec(in_channels=32, out_channels=8),
+    "CNN3": ConvLayerSpec(in_channels=66, out_channels=32),
+    "CNN4": ConvLayerSpec(in_channels=43, out_channels=64),
+}
+
+#: The paper's measured times (ms) for those configurations.
+TABLE1_TIMES_MS: Dict[str, float] = {
+    "CNN1": 114.9,
+    "CNN2": 300.2,
+    "CNN3": 908.3,
+    "CNN4": 751.7,
+}
+
+
+class MobileDeviceCostModel:
+    """Deterministic execution-time / energy / memory model of the device.
+
+    ``measure`` optionally adds small seeded multiplicative noise so the
+    profiler faces realistic measurement jitter.
+    """
+
+    #: knots of the output-channel lane-utilization factor (piecewise linear).
+    _OUT_KNOTS = np.array([1.0, 8.0, 16.0, 32.0, 64.0, 128.0, 512.0])
+    _OUT_FACTORS = np.array([9.0, 5.3720, 3.1, 1.9961, 1.2652, 1.05, 1.0])
+    #: per-pixel working-set budget before the cache cliff (3x3 * 96 ch).
+    _CACHE_BUDGET = 9 * 96
+    _CACHE_PENALTY = 1.85
+    #: base rate (ms per GMAC at full utilization) and fixed launch overhead.
+    _RATE_MS_PER_GMAC = 475.4
+    _OVERHEAD_MS = 5.0
+
+    def __init__(self, noise: float = 0.0, seed: int = 0) -> None:
+        if noise < 0:
+            raise ValueError("noise must be non-negative")
+        self.noise = noise
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def _out_channel_factor(self, out_channels: int) -> float:
+        return float(
+            np.interp(out_channels, self._OUT_KNOTS, self._OUT_FACTORS)
+        )
+
+    def _cache_factor(self, spec: ConvLayerSpec) -> float:
+        return self._CACHE_PENALTY if spec.working_set > self._CACHE_BUDGET else 1.0
+
+    def execution_time_ms(self, spec: ConvLayerSpec) -> float:
+        """Deterministic execution time of one layer, in milliseconds."""
+        gmacs = spec.macs / 1e9
+        return (
+            self._OVERHEAD_MS
+            + gmacs
+            * self._RATE_MS_PER_GMAC
+            * self._out_channel_factor(spec.out_channels)
+            * self._cache_factor(spec)
+        )
+
+    def measure(self, spec: ConvLayerSpec) -> float:
+        """One noisy 'measurement' of the layer (what a profiler observes)."""
+        t = self.execution_time_ms(spec)
+        if self.noise > 0:
+            t *= 1.0 + self._rng.normal(0.0, self.noise)
+        return max(t, 0.01)
+
+    def energy_mj(self, spec: ConvLayerSpec) -> float:
+        """Energy estimate: active power x time plus a per-MAC switching term."""
+        active_power_w = 2.2
+        per_gmac_mj = 110.0
+        return (
+            active_power_w * self.execution_time_ms(spec)
+            + per_gmac_mj * spec.macs / 1e9 * self._cache_factor(spec)
+        )
+
+    def memory_kb(self, spec: ConvLayerSpec) -> float:
+        """Peak working memory: im2col buffer + weights + output (float32)."""
+        out_px = spec.output_size**2
+        im2col = spec.working_set * out_px
+        weights = spec.kernel**2 * spec.in_channels * spec.out_channels
+        output = spec.out_channels * out_px
+        return 4.0 * (im2col + weights + output) / 1024.0
+
+    def network_time_ms(self, specs) -> float:
+        """Total time of a sequence of layers."""
+        return float(sum(self.execution_time_ms(s) for s in specs))

@@ -1,0 +1,73 @@
+"""Arrival processes for open-loop serving experiments.
+
+The paper's proof-of-concept feeds images "in a randomly shuffled order" at
+a fixed concurrency; a serving system also needs open-loop arrivals.  These
+generators produce arrival timestamps consumable by
+:class:`~repro.scheduler.simulator.PoolSimulator` (``arrival_times=``):
+
+- :func:`poisson_arrivals` — memoryless traffic at a given rate;
+- :func:`bursty_arrivals` — a two-state modulated process (quiet/burst),
+  the classic stress test for deadline scheduling;
+- :func:`constant_arrivals` — deterministic pacing.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def constant_arrivals(n: int, interval: float, start: float = 0.0) -> List[float]:
+    """Evenly paced arrivals: one task every ``interval`` seconds."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    return [start + i * interval for i in range(n)]
+
+
+def poisson_arrivals(
+    n: int, rate: float, seed: int = 0, start: float = 0.0
+) -> List[float]:
+    """``n`` arrivals from a Poisson process with ``rate`` tasks/second."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate, size=n)
+    return list(start + np.cumsum(gaps))
+
+
+def bursty_arrivals(
+    n: int,
+    quiet_rate: float,
+    burst_rate: float,
+    mean_quiet_s: float = 10.0,
+    mean_burst_s: float = 3.0,
+    seed: int = 0,
+    start: float = 0.0,
+) -> List[float]:
+    """Markov-modulated Poisson arrivals alternating quiet and burst phases."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if min(quiet_rate, burst_rate) <= 0:
+        raise ValueError("rates must be positive")
+    if min(mean_quiet_s, mean_burst_s) <= 0:
+        raise ValueError("phase durations must be positive")
+    rng = np.random.default_rng(seed)
+    arrivals: List[float] = []
+    t = start
+    in_burst = False
+    phase_end = t + rng.exponential(mean_quiet_s)
+    while len(arrivals) < n:
+        rate = burst_rate if in_burst else quiet_rate
+        t += rng.exponential(1.0 / rate)
+        while t >= phase_end:
+            in_burst = not in_burst
+            phase_end += rng.exponential(
+                mean_burst_s if in_burst else mean_quiet_s
+            )
+        arrivals.append(t)
+    return arrivals

@@ -1,0 +1,258 @@
+"""User-space real-time inference runtime (the paper's process-pool design).
+
+Where :mod:`repro.scheduler.simulator` replays precomputed oracles for
+deterministic experiments, this module actually executes a
+:class:`~repro.nn.resnet.StagedResNet` stage by stage under the scheduler, in
+threads (the Python analogue of the paper's worker-process pool):
+
+- a pool of worker threads pulls (task, stage) work items from a queue,
+  runs one network stage, and reports ``(prediction, confidence)`` back to
+  the scheduler over a result queue — the role the paper gives to Linux
+  named pipes;
+- the scheduler loop re-plans with the freshest confidences whenever its
+  timeline drains ("restarts again with the most recent utility estimates");
+- a daemon thread watches elapsed time per task and evicts tasks whose
+  latency constraint expired; a stage whose result arrives after eviction is
+  discarded, the worker simply "returns to the pool".
+
+Implemented in user space, no OS support needed — the portability argument
+of Section III.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.resnet import StagedResNet
+from ..nn.tensor import Tensor
+from .policies import SchedulingPolicy
+from .task import StageOutcome, TaskRecord
+
+
+@dataclass
+class RuntimeConfig:
+    num_workers: int = 2
+    #: seconds each task may stay in the system (the latency constraint).
+    latency_constraint: float = 5.0
+    #: daemon polling period in seconds.
+    daemon_interval: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("need at least one worker")
+        if self.latency_constraint <= 0:
+            raise ValueError("latency constraint must be positive")
+
+
+@dataclass
+class RuntimeTaskResult:
+    """Outcome of one task after the runtime drains."""
+
+    task_id: int
+    outcomes: List[StageOutcome]
+    evicted: bool
+    elapsed: float
+
+    @property
+    def prediction(self) -> Optional[int]:
+        return self.outcomes[-1].prediction if self.outcomes else None
+
+    @property
+    def confidence(self) -> Optional[float]:
+        return self.outcomes[-1].confidence if self.outcomes else None
+
+
+class _WorkItem:
+    __slots__ = ("task_id", "stage", "features")
+
+    def __init__(self, task_id: int, stage: int, features) -> None:
+        self.task_id = task_id
+        self.stage = stage
+        self.features = features
+
+
+class StagedInferenceRuntime:
+    """Executes submitted inputs through a staged model under a policy."""
+
+    def __init__(
+        self,
+        model: StagedResNet,
+        policy: SchedulingPolicy,
+        config: Optional[RuntimeConfig] = None,
+    ) -> None:
+        self.model = model
+        self.policy = policy
+        self.config = config or RuntimeConfig()
+        self._inputs: List[np.ndarray] = []
+
+    def submit(self, inputs: np.ndarray) -> List[int]:
+        """Queue a batch of single-image tasks; returns their task ids."""
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 4:
+            raise ValueError("inputs must be (N, C, H, W)")
+        start = len(self._inputs)
+        for i in range(inputs.shape[0]):
+            self._inputs.append(inputs[i : i + 1])
+        return list(range(start, len(self._inputs)))
+
+    # ------------------------------------------------------------------
+    def run_until_complete(self) -> List[RuntimeTaskResult]:
+        """Serve every submitted task to completion or eviction."""
+        if not self._inputs:
+            return []
+        self.model.eval()
+        cfg = self.config
+        t0 = time.monotonic()
+
+        records: Dict[int, TaskRecord] = {}
+        features: Dict[int, Tensor] = {}
+        lock = threading.Lock()
+        work_queue: "queue.Queue[Optional[_WorkItem]]" = queue.Queue()
+        result_queue: "queue.Queue[tuple]" = queue.Queue()
+        stop = threading.Event()
+
+        for tid, x in enumerate(self._inputs):
+            records[tid] = TaskRecord(
+                task_id=tid,
+                arrival_time=0.0,
+                deadline=cfg.latency_constraint,
+                num_stages=self.model.num_stages,
+            )
+
+        def worker_loop() -> None:
+            while not stop.is_set():
+                try:
+                    item = work_queue.get(timeout=0.01)
+                except queue.Empty:
+                    continue
+                if item is None:
+                    return
+                new_features, logits = self.model.run_stage(item.features, item.stage)
+                probs = F.softmax(logits, axis=-1).data[0]
+                prediction = int(probs.argmax())
+                confidence = float(probs.max())
+                result_queue.put(
+                    (item.task_id, item.stage, prediction, confidence, new_features)
+                )
+
+        def daemon_loop() -> None:
+            """The latency-constraint daemon of Section III."""
+            while not stop.is_set():
+                now = time.monotonic() - t0
+                with lock:
+                    for record in records.values():
+                        if not record.done and now > record.deadline:
+                            record.evicted = True
+                            record.finish_time = now
+                time.sleep(cfg.daemon_interval)
+
+        workers = [
+            threading.Thread(target=worker_loop, daemon=True)
+            for _ in range(cfg.num_workers)
+        ]
+        daemon = threading.Thread(target=daemon_loop, daemon=True)
+        for w in workers:
+            w.start()
+        daemon.start()
+
+        in_flight: Dict[int, int] = {}  # task_id -> stage being executed
+        timeline: List[tuple] = []
+
+        def refill(now: float) -> None:
+            """Keep the workers fed; replan when the timeline drains."""
+            nonlocal timeline
+            while len(in_flight) < cfg.num_workers:
+                item = None
+                for attempt in range(2):
+                    while timeline:
+                        tid, stage = timeline.pop(0)
+                        record = records[tid]
+                        if record.done or tid in in_flight:
+                            continue
+                        if record.next_stage != stage:
+                            continue
+                        item = (tid, stage)
+                        break
+                    if item is not None or attempt == 1:
+                        break
+                    views = [
+                        r.view()
+                        for r in records.values()
+                        if not r.done and r.task_id not in in_flight
+                    ]
+                    timeline = list(self.policy.plan(views, now))
+                    if not timeline:
+                        break
+                if item is None:
+                    return
+                tid, stage = item
+                feats = features[tid] if stage > 0 else self.model.run_stem(
+                    Tensor(self._inputs[tid])
+                )
+                in_flight[tid] = stage
+                work_queue.put(_WorkItem(tid, stage, feats))
+
+        try:
+            with lock:
+                refill(0.0)
+            while True:
+                with lock:
+                    if all(r.done for r in records.values()) and not in_flight:
+                        break
+                try:
+                    tid, stage, prediction, confidence, new_features = result_queue.get(
+                        timeout=0.05
+                    )
+                except queue.Empty:
+                    # Evictions may have freed scheduling slots meanwhile.
+                    now = time.monotonic() - t0
+                    with lock:
+                        refill(now)
+                    continue
+                now = time.monotonic() - t0
+                with lock:
+                    in_flight.pop(tid, None)
+                    record = records[tid]
+                    if not record.evicted:
+                        record.outcomes.append(
+                            StageOutcome(
+                                stage=stage,
+                                prediction=prediction,
+                                confidence=confidence,
+                            )
+                        )
+                        features[tid] = new_features
+                        if record.complete:
+                            record.finish_time = now
+                    refill(now)
+        finally:
+            stop.set()
+            for _ in workers:
+                work_queue.put(None)
+            for w in workers:
+                w.join(timeout=1.0)
+            daemon.join(timeout=1.0)
+
+        results = []
+        for tid in sorted(records):
+            record = records[tid]
+            elapsed = record.finish_time if record.finish_time is not None else (
+                time.monotonic() - t0
+            )
+            results.append(
+                RuntimeTaskResult(
+                    task_id=tid,
+                    outcomes=list(record.outcomes),
+                    evicted=record.evicted,
+                    elapsed=float(elapsed),
+                )
+            )
+        self._inputs = []
+        return results

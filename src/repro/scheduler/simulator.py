@@ -1,0 +1,446 @@
+"""Discrete-event simulation of the Eugene worker pool (Sec. III-C).
+
+The paper's proof-of-concept spawns a pool of worker processes; each runs one
+stage of one task at a time, reports (prediction, confidence) to the
+user-space scheduler through a named pipe, and a daemon process evicts tasks
+whose latency constraint expires.  This module reproduces that architecture
+as a deterministic discrete-event simulation so the Fig. 4 scalability
+experiments are exactly repeatable: stage outcomes come from a precomputed
+*oracle table* (the trained staged ResNet run over the test set), stage
+durations come from a cost model, and the scheduling policy is pluggable.
+
+Concurrency model: all tasks are backlogged at t=0 and at most
+``concurrency`` are admitted ("in flight") at any instant — a task's latency
+constraint starts at its admission.  When a task finishes or is evicted, the
+next backlogged task is admitted immediately, keeping the system at the
+target concurrency level, which is the x-axis of Fig. 4.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .policies import PlanItem, SchedulingPolicy
+from .task import StageOutcome, TaskRecord
+
+
+@dataclass(frozen=True)
+class TaskOracle:
+    """Precomputed per-stage outcomes for one task's input.
+
+    ``confidences[s]``, ``predictions[s]`` and ``correct[s]`` describe what
+    the staged model *would* report after executing stage ``s`` on this
+    task's input.
+    """
+
+    confidences: Tuple[float, ...]
+    predictions: Tuple[int, ...]
+    correct: Tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        if not (len(self.confidences) == len(self.predictions) == len(self.correct)):
+            raise ValueError("oracle arrays must have equal length")
+        if len(self.confidences) == 0:
+            raise ValueError("oracle needs at least one stage")
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.confidences)
+
+    @staticmethod
+    def table_from_outputs(outputs: dict) -> List["TaskOracle"]:
+        """Build oracles from :func:`repro.nn.training.collect_stage_outputs`."""
+        confs = outputs["confidences"]
+        preds = outputs["predictions"]
+        correct = outputs["correct"]
+        n = confs.shape[1]
+        return [
+            TaskOracle(
+                confidences=tuple(float(c) for c in confs[:, i]),
+                predictions=tuple(int(p) for p in preds[:, i]),
+                correct=tuple(bool(c) for c in correct[:, i]),
+            )
+            for i in range(n)
+        ]
+
+
+@dataclass
+class SimulationConfig:
+    """Parameters of one simulated serving episode."""
+
+    num_workers: int = 4
+    concurrency: int = 5
+    #: execution time of each stage ("equal stage execution times" is the
+    #: paper's optimality condition; pass unequal values to break it).
+    stage_times: Sequence[float] = (1.0, 1.0, 1.0)
+    #: per-task latency constraint, seconds from admission.
+    latency_constraint: float = 4.0
+    #: refuse to start a stage that cannot finish before the task's deadline
+    #: (the daemon would kill it anyway and the work would be wasted).
+    skip_doomed_stages: bool = True
+    #: failure injection: probability a finished stage produced no usable
+    #: result (worker crash / corrupted output).  The stage's time is spent,
+    #: no outcome is recorded, and the task remains schedulable — the
+    #: scheduler must absorb the retry.
+    stage_failure_prob: float = 0.0
+    failure_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("need at least one worker")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if self.latency_constraint <= 0:
+            raise ValueError("latency constraint must be positive")
+        if any(t <= 0 for t in self.stage_times):
+            raise ValueError("stage times must be positive")
+        if not 0.0 <= self.stage_failure_prob < 1.0:
+            raise ValueError("stage_failure_prob must be in [0, 1)")
+
+
+@dataclass
+class EpisodeResult:
+    """Aggregate metrics of one simulated episode."""
+
+    records: List[TaskRecord]
+    makespan: float
+    busy_time: float
+    num_workers: int
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.records)
+
+    @property
+    def correct_flags(self) -> np.ndarray:
+        return np.array([r.final_correct for r in self.records], dtype=bool)
+
+    @property
+    def accuracy(self) -> float:
+        """Service classification accuracy — the Fig. 4 y-axis."""
+        return float(self.correct_flags.mean())
+
+    @property
+    def stages_executed(self) -> np.ndarray:
+        return np.array([r.stages_done for r in self.records], dtype=int)
+
+    @property
+    def num_evicted(self) -> int:
+        return sum(1 for r in self.records if r.evicted)
+
+    @property
+    def num_fully_completed(self) -> int:
+        return sum(1 for r in self.records if r.complete)
+
+    @property
+    def mean_final_confidence(self) -> float:
+        confs = [r.latest_confidence for r in self.records if r.outcomes]
+        return float(np.mean(confs)) if confs else 0.0
+
+    def final_confidences(self, default: float = 0.0) -> np.ndarray:
+        """Per-task confidence of the answer delivered (``default`` when a
+        task produced no answer).  The spread of this vector is the paper's
+        fairness measure: "a lower deviation means better fairness"."""
+        return np.array(
+            [
+                r.latest_confidence if r.outcomes else default
+                for r in self.records
+            ]
+        )
+
+    @property
+    def utilization(self) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        return self.busy_time / (self.makespan * self.num_workers)
+
+    @property
+    def latencies(self) -> np.ndarray:
+        return np.array(
+            [
+                (r.finish_time - r.arrival_time)
+                for r in self.records
+                if r.finish_time is not None
+            ]
+        )
+
+
+# Event kinds, ordered so simultaneous events resolve deterministically:
+# stage completions first (they free capacity), then deadlines, then arrivals.
+_STAGE_DONE = 0
+_DEADLINE = 1
+_ARRIVAL = 2
+
+
+class PoolSimulator:
+    """Runs one serving episode under a given policy.
+
+    The simulator repeatedly asks the policy for a timeline of (task, stage)
+    items ("when the timeline has been executed, the algorithm restarts again
+    with the most recent utility estimates") and feeds free workers from that
+    timeline, skipping items that became stale (task evicted / stage already
+    run / cannot meet its deadline).
+    """
+
+    def __init__(
+        self,
+        oracles: Sequence[TaskOracle],
+        policy: SchedulingPolicy,
+        config: Optional[SimulationConfig] = None,
+        task_latency_constraints: Optional[Sequence[float]] = None,
+        arrival_times: Optional[Sequence[float]] = None,
+    ) -> None:
+        if not oracles:
+            raise ValueError("need at least one task")
+        self.oracles = list(oracles)
+        self.policy = policy
+        self.config = config or SimulationConfig()
+        if arrival_times is not None:
+            if len(arrival_times) != len(self.oracles):
+                raise ValueError("arrival_times must align with oracles")
+            if any(a < 0 for a in arrival_times):
+                raise ValueError("arrival times must be non-negative")
+            self.arrival_times = [float(a) for a in arrival_times]
+        else:
+            self.arrival_times = None
+        if task_latency_constraints is not None:
+            if len(task_latency_constraints) != len(self.oracles):
+                raise ValueError(
+                    "task_latency_constraints must align with oracles"
+                )
+            if any(c <= 0 for c in task_latency_constraints):
+                raise ValueError("latency constraints must be positive")
+            self.task_latency_constraints = [float(c) for c in task_latency_constraints]
+        else:
+            self.task_latency_constraints = None
+        num_stages = self.oracles[0].num_stages
+        if any(o.num_stages != num_stages for o in self.oracles):
+            raise ValueError("all oracles must have the same stage count")
+        if len(self.config.stage_times) != num_stages:
+            raise ValueError(
+                f"config has {len(self.config.stage_times)} stage times but "
+                f"oracles have {num_stages} stages"
+            )
+        self.num_stages = num_stages
+
+    # ------------------------------------------------------------------
+    def run(self) -> EpisodeResult:
+        cfg = self.config
+        failure_rng = np.random.default_rng(cfg.failure_seed)
+        records: Dict[int, TaskRecord] = {}
+        backlog = list(range(len(self.oracles)))
+        active: Dict[int, TaskRecord] = {}
+        timeline: List[PlanItem] = []
+        busy_time = 0.0
+        makespan = 0.0
+        counter = itertools.count()
+        events: List[Tuple[float, int, int, tuple]] = []
+
+        def arrival_of(tid: int) -> float:
+            return self.arrival_times[tid] if self.arrival_times is not None else 0.0
+
+        if self.arrival_times is not None:
+            backlog.sort(key=lambda tid: (arrival_of(tid), tid))
+
+        def admit(now: float) -> None:
+            while (
+                backlog
+                and len(active) < cfg.concurrency
+                and arrival_of(backlog[0]) <= now + 1e-12
+            ):
+                tid = backlog.pop(0)
+                constraint = (
+                    self.task_latency_constraints[tid]
+                    if self.task_latency_constraints is not None
+                    else cfg.latency_constraint
+                )
+                # Closed-loop (no arrival times): a task "arrives" when
+                # admitted, matching the paper's constant-concurrency test.
+                # Open-loop: the clock starts at the true arrival instant,
+                # so queueing delay counts against the latency constraint.
+                arrived = arrival_of(tid) if self.arrival_times is not None else now
+                record = TaskRecord(
+                    task_id=tid,
+                    arrival_time=arrived,
+                    deadline=arrived + constraint,
+                    num_stages=self.num_stages,
+                )
+                records[tid] = record
+                if record.deadline <= now:
+                    # The latency constraint expired while the task queued.
+                    record.evicted = True
+                    record.finish_time = record.deadline
+                    continue
+                active[tid] = record
+                heapq.heappush(
+                    events, (record.deadline, _DEADLINE, next(counter), (tid,))
+                )
+
+        def retire(tid: int, now: float, evicted: bool) -> None:
+            record = active.pop(tid, None)
+            if record is None:
+                return
+            record.evicted = evicted
+            record.finish_time = now
+            admit(now)
+
+        in_flight: set = set()  # task ids with a stage currently executing
+
+        def next_item(now: float) -> Optional[PlanItem]:
+            """Pop the next valid work item, replanning at most once.
+
+            A task with a stage already on a worker is never double-scheduled
+            (its stages are sequential), so it is filtered both from stale
+            timeline items and from the views handed to the policy.
+            """
+            nonlocal timeline
+            for attempt in range(2):
+                while timeline:
+                    tid, stage = timeline.pop(0)
+                    record = active.get(tid)
+                    if record is None or record.done or tid in in_flight:
+                        continue
+                    if record.next_stage != stage:
+                        continue
+                    duration = cfg.stage_times[stage]
+                    if cfg.skip_doomed_stages and now + duration > record.deadline:
+                        continue
+                    return tid, stage
+                if attempt == 0:
+                    views = [
+                        r.view()
+                        for r in active.values()
+                        if not r.done and r.task_id not in in_flight
+                    ]
+                    timeline = list(self.policy.plan(views, now))
+                    if not timeline:
+                        return None
+            return None
+
+        running: Dict[int, Tuple[int, int]] = {}  # worker -> (tid, stage)
+        free_workers = list(range(cfg.num_workers))
+
+        def dispatch(now: float) -> None:
+            nonlocal busy_time
+            while free_workers:
+                item = next_item(now)
+                if item is None:
+                    return
+                worker = free_workers.pop()
+                tid, stage = item
+                duration = cfg.stage_times[stage]
+                running[worker] = (tid, stage)
+                in_flight.add(tid)
+                busy_time += duration
+                heapq.heappush(
+                    events,
+                    (now + duration, _STAGE_DONE, next(counter), (worker, tid, stage)),
+                )
+
+        if self.arrival_times is not None:
+            for tid in backlog:
+                heapq.heappush(
+                    events, (arrival_of(tid), _ARRIVAL, next(counter), (tid,))
+                )
+        admit(0.0)
+        dispatch(0.0)
+
+        while events:
+            now, kind, _, payload = heapq.heappop(events)
+            if kind == _STAGE_DONE:
+                makespan = max(makespan, now)
+                worker, tid, stage = payload
+                running.pop(worker, None)
+                free_workers.append(worker)
+                in_flight.discard(tid)
+                failed = (
+                    cfg.stage_failure_prob > 0.0
+                    and failure_rng.random() < cfg.stage_failure_prob
+                )
+                record = records[tid]
+                if failed:
+                    pass  # time was spent, no result; task stays schedulable
+                elif not record.evicted and now <= record.deadline + 1e-12:
+                    oracle = self.oracles[tid]
+                    record.outcomes.append(
+                        StageOutcome(
+                            stage=stage,
+                            prediction=oracle.predictions[stage],
+                            confidence=oracle.confidences[stage],
+                            correct=oracle.correct[stage],
+                        )
+                    )
+                    if record.complete:
+                        retire(tid, now, evicted=False)
+                dispatch(now)
+            elif kind == _DEADLINE:
+                (tid,) = payload
+                record = records[tid]
+                if tid in active and not record.done:
+                    # Daemon eviction: task leaves with whatever stages ran.
+                    makespan = max(makespan, now)
+                    retire(tid, now, evicted=True)
+                dispatch(now)
+            elif kind == _ARRIVAL:
+                admit(now)
+                dispatch(now)
+
+        # Tasks still active when events drain (shouldn't happen: deadlines
+        # guarantee progress) are counted as evicted at their deadline.
+        for tid, record in list(active.items()):
+            retire(tid, record.deadline, evicted=True)
+        # Backlog leftovers (possible only in open-loop corner cases) are
+        # evicted at their own deadlines with no stages executed.
+        for tid in backlog:
+            constraint = (
+                self.task_latency_constraints[tid]
+                if self.task_latency_constraints is not None
+                else cfg.latency_constraint
+            )
+            arrived = arrival_of(tid)
+            record = TaskRecord(
+                task_id=tid,
+                arrival_time=arrived,
+                deadline=arrived + constraint,
+                num_stages=self.num_stages,
+            )
+            record.evicted = True
+            record.finish_time = record.deadline
+            records[tid] = record
+
+        ordered = [records[tid] for tid in sorted(records)]
+        return EpisodeResult(
+            records=ordered,
+            makespan=makespan,
+            busy_time=busy_time,
+            num_workers=cfg.num_workers,
+        )
+
+
+def run_episodes(
+    oracles: Sequence[TaskOracle],
+    policy_factory,
+    config: SimulationConfig,
+    episodes: int = 5,
+    tasks_per_episode: int = 60,
+    seed: int = 0,
+) -> List[EpisodeResult]:
+    """Run several episodes over random task subsets; returns their results.
+
+    ``policy_factory`` must build a *fresh* policy per episode (policies may
+    carry cursor state).  Episode task subsets are drawn with a seeded RNG so
+    sweeps across policies see identical workloads.
+    """
+    rng = np.random.default_rng(seed)
+    results = []
+    for _ in range(episodes):
+        idx = rng.choice(len(oracles), size=min(tasks_per_episode, len(oracles)), replace=False)
+        subset = [oracles[i] for i in idx]
+        sim = PoolSimulator(subset, policy_factory(), config)
+        results.append(sim.run())
+    return results

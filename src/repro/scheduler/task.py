@@ -1,0 +1,124 @@
+"""Task representations shared by the scheduler, simulator and runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class StageOutcome:
+    """Result of executing one stage of one task: (predicted value, confidence).
+
+    This is exactly the tuple the paper's worker processes emit at the end of
+    each stage and push to the scheduler over a named pipe.
+    """
+
+    stage: int
+    prediction: int
+    confidence: float
+    correct: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError(f"confidence must be in [0, 1], got {self.confidence}")
+        if self.stage < 0:
+            raise ValueError("stage must be non-negative")
+
+
+@dataclass
+class TaskRecord:
+    """Full mutable record of a task inside the simulator/runtime."""
+
+    task_id: int
+    arrival_time: float
+    deadline: float
+    num_stages: int
+    outcomes: List[StageOutcome] = field(default_factory=list)
+    evicted: bool = False
+    finish_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.deadline <= self.arrival_time:
+            raise ValueError("deadline must be after arrival")
+        if self.num_stages < 1:
+            raise ValueError("a task needs at least one stage")
+
+    @property
+    def stages_done(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def next_stage(self) -> Optional[int]:
+        if self.stages_done >= self.num_stages:
+            return None
+        return self.stages_done
+
+    @property
+    def complete(self) -> bool:
+        return self.stages_done >= self.num_stages
+
+    @property
+    def done(self) -> bool:
+        """No more work will happen (all stages ran, or deadline eviction)."""
+        return self.complete or self.evicted
+
+    @property
+    def latest_confidence(self) -> Optional[float]:
+        return self.outcomes[-1].confidence if self.outcomes else None
+
+    @property
+    def latest_prediction(self) -> Optional[int]:
+        return self.outcomes[-1].prediction if self.outcomes else None
+
+    @property
+    def final_correct(self) -> bool:
+        """Service-level correctness: last completed stage's verdict.
+
+        Tasks that never completed a stage produce no usable answer and count
+        as incorrect ("no utility is accrued for tasks that are not
+        completed").
+        """
+        if not self.outcomes:
+            return False
+        return bool(self.outcomes[-1].correct)
+
+    def view(self) -> "TaskView":
+        return TaskView(
+            task_id=self.task_id,
+            arrival_time=self.arrival_time,
+            deadline=self.deadline,
+            num_stages=self.num_stages,
+            stages_done=self.stages_done,
+            confidences=tuple(o.confidence for o in self.outcomes),
+        )
+
+
+@dataclass(frozen=True)
+class TaskView:
+    """Immutable scheduling-visible snapshot of a task.
+
+    Policies receive these — they can see confidence history but never the
+    oracle correctness, mirroring the information available to the real
+    system at run time.
+    """
+
+    task_id: int
+    arrival_time: float
+    deadline: float
+    num_stages: int
+    stages_done: int
+    confidences: tuple
+
+    @property
+    def next_stage(self) -> Optional[int]:
+        if self.stages_done >= self.num_stages:
+            return None
+        return self.stages_done
+
+    @property
+    def latest_confidence(self) -> Optional[float]:
+        return self.confidences[-1] if self.confidences else None
+
+    def remaining_time(self, now: float) -> float:
+        return self.deadline - now

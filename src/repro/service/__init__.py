@@ -1,0 +1,81 @@
+"""The Eugene service layer (Sec. II): deep intelligence as a service.
+
+A single in-process facade, :class:`EugeneService`, exposes the paper's
+service taxonomy over the substrates of this package:
+
+- ``train`` — DeepSense-style model generation from client data (S3, S4)
+- ``label`` — SenseGAN-style automatic labeling (S10)
+- ``reduce`` — DeepIoT-style model reduction for caching (S9)
+- ``profile`` — FastDeepIoT-style execution profiling (S8)
+- ``calibrate`` — entropy-based confidence calibration (S5)
+- ``infer`` — run-time inference under the RTDeepIoT scheduler (S6, S7)
+
+:class:`EugeneClient` is the client stub an IoT device would hold;
+:class:`repro.service.client.EdgeDevice` adds client-side model caching.
+"""
+
+from .messages import (
+    CalibrateRequest,
+    CalibrateResponse,
+    ClassifyRequest,
+    ClassifyResponse,
+    DeepSenseTrainRequest,
+    DeepSenseTrainResponse,
+    EstimateRequest,
+    EstimateResponse,
+    EstimatorTrainRequest,
+    EstimatorTrainResponse,
+    InferRequest,
+    InferResponse,
+    LabelRequest,
+    LabelResponse,
+    ProfileRequest,
+    ProfileResponse,
+    ReduceRequest,
+    ReduceResponse,
+    TrainRequest,
+    TrainResponse,
+)
+from .model_registry import ModelEntry, ModelRegistry
+from .pools import (
+    AuditReport,
+    Contribution,
+    ContributorAuditor,
+    DataPool,
+    PoolAuthorizationError,
+)
+from .server import EugeneService
+from .client import EdgeDevice, EugeneClient
+
+__all__ = [
+    "EugeneService",
+    "EugeneClient",
+    "EdgeDevice",
+    "ModelRegistry",
+    "ModelEntry",
+    "TrainRequest",
+    "TrainResponse",
+    "LabelRequest",
+    "LabelResponse",
+    "ReduceRequest",
+    "ReduceResponse",
+    "ProfileRequest",
+    "ProfileResponse",
+    "CalibrateRequest",
+    "CalibrateResponse",
+    "InferRequest",
+    "InferResponse",
+    "EstimatorTrainRequest",
+    "EstimatorTrainResponse",
+    "EstimateRequest",
+    "EstimateResponse",
+    "DeepSenseTrainRequest",
+    "DeepSenseTrainResponse",
+    "ClassifyRequest",
+    "ClassifyResponse",
+    "DataPool",
+    "Contribution",
+    "ContributorAuditor",
+    "AuditReport",
+    "PoolAuthorizationError",
+]

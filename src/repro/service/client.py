@@ -1,0 +1,181 @@
+"""Client-side stubs: the service handle an IoT device holds.
+
+:class:`EugeneClient` is a thin convenience wrapper over the service
+endpoints.  :class:`EdgeDevice` models the paper's caching client: it asks
+the service for a reduced model sized to its own :class:`DeviceProfile`,
+serves frequent classes locally, and offloads cache misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..compression.cache import DeviceProfile, FrequencyTracker, ReducedClassModel
+from .messages import (
+    CalibrateRequest,
+    CalibrateResponse,
+    ClassifyRequest,
+    ClassifyResponse,
+    DeepSenseTrainRequest,
+    DeepSenseTrainResponse,
+    EstimateRequest,
+    EstimateResponse,
+    EstimatorTrainRequest,
+    EstimatorTrainResponse,
+    InferRequest,
+    InferResponse,
+    LabelRequest,
+    LabelResponse,
+    ProfileRequest,
+    ProfileResponse,
+    ReduceRequest,
+    ReduceResponse,
+    TrainRequest,
+    TrainResponse,
+)
+from .server import EugeneService
+
+
+class EugeneClient:
+    """Method-per-endpoint client stub."""
+
+    def __init__(self, service: EugeneService) -> None:
+        self.service = service
+
+    def train(self, inputs: np.ndarray, labels: np.ndarray, **kwargs) -> TrainResponse:
+        return self.service.train(TrainRequest(inputs=inputs, labels=labels, **kwargs))
+
+    def label(
+        self,
+        labeled_inputs: np.ndarray,
+        labeled_targets: np.ndarray,
+        unlabeled_inputs: np.ndarray,
+        num_classes: int,
+        **kwargs,
+    ) -> LabelResponse:
+        return self.service.label(
+            LabelRequest(
+                labeled_inputs=labeled_inputs,
+                labeled_targets=labeled_targets,
+                unlabeled_inputs=unlabeled_inputs,
+                num_classes=num_classes,
+                **kwargs,
+            )
+        )
+
+    def reduce(self, model_id: str, **kwargs) -> ReduceResponse:
+        return self.service.reduce(ReduceRequest(model_id=model_id, **kwargs))
+
+    def profile(self, model_id: str, **kwargs) -> ProfileResponse:
+        return self.service.profile(ProfileRequest(model_id=model_id, **kwargs))
+
+    def calibrate(
+        self, model_id: str, inputs: np.ndarray, labels: np.ndarray, **kwargs
+    ) -> CalibrateResponse:
+        return self.service.calibrate(
+            CalibrateRequest(model_id=model_id, inputs=inputs, labels=labels, **kwargs)
+        )
+
+    def infer(self, model_id: str, inputs: np.ndarray, **kwargs) -> InferResponse:
+        return self.service.infer(InferRequest(model_id=model_id, inputs=inputs, **kwargs))
+
+    def train_deepsense(
+        self, inputs: np.ndarray, labels: np.ndarray, **kwargs
+    ) -> DeepSenseTrainResponse:
+        return self.service.train_deepsense(
+            DeepSenseTrainRequest(inputs=inputs, labels=labels, **kwargs)
+        )
+
+    def classify(self, model_id: str, inputs: np.ndarray) -> ClassifyResponse:
+        return self.service.classify(
+            ClassifyRequest(model_id=model_id, inputs=inputs)
+        )
+
+    def train_estimator(
+        self, inputs: np.ndarray, targets: np.ndarray, **kwargs
+    ) -> EstimatorTrainResponse:
+        return self.service.train_estimator(
+            EstimatorTrainRequest(inputs=inputs, targets=targets, **kwargs)
+        )
+
+    def estimate(self, model_id: str, inputs: np.ndarray, **kwargs) -> EstimateResponse:
+        return self.service.estimate(
+            EstimateRequest(model_id=model_id, inputs=inputs, **kwargs)
+        )
+
+
+class EdgeDevice:
+    """An IoT client that caches a reduced model for its frequent classes."""
+
+    def __init__(
+        self,
+        client: EugeneClient,
+        model_id: str,
+        profile: Optional[DeviceProfile] = None,
+        tracker: Optional[FrequencyTracker] = None,
+        confidence_threshold: float = 0.5,
+    ) -> None:
+        self.client = client
+        self.model_id = model_id
+        self.profile = profile or DeviceProfile()
+        self.tracker = tracker or FrequencyTracker(window=60, coverage_target=0.7)
+        self.confidence_threshold = confidence_threshold
+        self.cached: Optional[ReducedClassModel] = None
+        self.cached_model_id: Optional[str] = None
+        self.queries_local = 0
+        self.queries_offloaded = 0
+
+    # ------------------------------------------------------------------
+    def _offload(self, x: np.ndarray) -> Dict[str, object]:
+        response = self.client.infer(self.model_id, x[None] if x.ndim == 3 else x)
+        self.queries_offloaded += 1
+        prediction = response.predictions[0]
+        if prediction is not None:
+            self.tracker.observe(prediction)
+        self._maybe_fetch_cache()
+        return {
+            "prediction": prediction,
+            "confidence": response.confidences[0],
+            "source": "server",
+        }
+
+    def _maybe_fetch_cache(self) -> None:
+        if self.cached is not None:
+            return
+        frequent = self.tracker.frequent_classes()
+        if frequent is None:
+            return
+        response = self.client.reduce(
+            self.model_id,
+            class_subset=frequent,
+            max_parameters=self.profile.max_parameters,
+        )
+        entry = self.client.service.registry.get(response.model_id)
+        self.cached = ReducedClassModel(
+            model=entry.model,
+            class_map=response.class_map,
+            confidence_threshold=self.confidence_threshold,
+        )
+        self.cached_model_id = response.model_id
+
+    def query(self, x: np.ndarray) -> Dict[str, object]:
+        """Classify one input, locally when the cached model is confident."""
+        if self.cached is not None:
+            prediction, confidence = self.cached.predict(x)
+            if prediction is not None:
+                self.queries_local += 1
+                self.tracker.observe(prediction)
+                return {
+                    "prediction": prediction,
+                    "confidence": confidence,
+                    "source": "cache",
+                }
+        return self._offload(x)
+
+    @property
+    def local_fraction(self) -> float:
+        total = self.queries_local + self.queries_offloaded
+        return self.queries_local / total if total else 0.0

@@ -1,0 +1,259 @@
+"""Request/response messages of the Eugene service API.
+
+Plain dataclasses rather than a wire format: the paper leaves "service
+models and APIs" as future work, so we define the minimal schema its
+Section II taxonomy implies.  Everything is serializable-by-construction
+(numpy arrays and primitives only) so a network transport could be added
+without changing the API surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.deepsense import DeepSenseConfig
+from ..nn.resnet import StagedResNetConfig
+
+
+@dataclass
+class TrainRequest:
+    """Train a staged model on client-supplied labelled data."""
+
+    inputs: np.ndarray
+    labels: np.ndarray
+    model_config: Optional[StagedResNetConfig] = None
+    epochs: int = 8
+    learning_rate: float = 1e-2
+    batch_size: int = 64
+    name: str = "model"
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) != len(self.labels):
+            raise ValueError("inputs and labels must have the same length")
+        if len(self.inputs) == 0:
+            raise ValueError("training data must not be empty")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+
+
+@dataclass
+class TrainResponse:
+    model_id: str
+    epochs: int
+    final_loss: float
+    stage_accuracies: Tuple[float, ...]
+
+
+@dataclass
+class LabelRequest:
+    """Propose labels for unlabeled data given a small labelled seed set."""
+
+    labeled_inputs: np.ndarray
+    labeled_targets: np.ndarray
+    unlabeled_inputs: np.ndarray
+    num_classes: int
+    rounds: int = 60
+    method: str = "sensegan"  # or "self-training"
+
+    def __post_init__(self) -> None:
+        if self.method not in ("sensegan", "self-training"):
+            raise ValueError(f"unknown labeling method {self.method!r}")
+        if self.num_classes < 2:
+            raise ValueError("need at least two classes")
+
+
+@dataclass
+class LabelResponse:
+    labels: np.ndarray
+    confidences: np.ndarray
+    method: str
+
+
+@dataclass
+class ReduceRequest:
+    """Produce a reduced model for caching on a constrained device."""
+
+    model_id: str
+    width_fraction: Optional[float] = None
+    class_subset: Optional[Sequence[int]] = None
+    max_parameters: Optional[int] = None
+    epochs: int = 4
+
+
+@dataclass
+class ReduceResponse:
+    model_id: str
+    parameters: int
+    original_parameters: int
+    class_map: Dict[int, int]
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.parameters / self.original_parameters
+
+
+@dataclass
+class ProfileRequest:
+    """Profile a registered model's per-stage execution costs."""
+
+    model_id: str
+    normalize: bool = False
+
+
+@dataclass
+class ProfileResponse:
+    stage_times_ms: Tuple[float, ...]
+    total_time_ms: float
+
+
+@dataclass
+class CalibrateRequest:
+    """Entropy-based confidence calibration (Eq. 4) on held-out data."""
+
+    model_id: str
+    inputs: np.ndarray
+    labels: np.ndarray
+    epochs: int = 3
+
+
+@dataclass
+class CalibrateResponse:
+    alphas: Tuple[float, ...]
+    ece_before: Tuple[float, ...]
+    ece_after: Tuple[float, ...]
+
+
+@dataclass
+class InferRequest:
+    """Run-time inference with a latency constraint, scheduled by RTDeepIoT."""
+
+    model_id: str
+    inputs: np.ndarray
+    latency_constraint_s: float = 10.0
+    lookahead: int = 1
+    num_workers: int = 2
+
+    def __post_init__(self) -> None:
+        if self.latency_constraint_s <= 0:
+            raise ValueError("latency constraint must be positive")
+        if self.lookahead < 1:
+            raise ValueError("lookahead must be >= 1")
+
+
+@dataclass
+class InferResponse:
+    predictions: List[Optional[int]]
+    confidences: List[Optional[float]]
+    stages_executed: List[int]
+    evicted: List[bool]
+
+
+@dataclass
+class DeepSenseTrainRequest:
+    """Train a DeepSense sensor-fusion model (Sec. II-A's architecture).
+
+    Input layout matches :func:`repro.datasets.make_sensor_dataset`:
+    ``(N, num_sensors * channels_per_sensor, num_intervals,
+    samples_per_interval)``.
+    """
+
+    inputs: np.ndarray
+    labels: np.ndarray
+    model_config: Optional[DeepSenseConfig] = None
+    steps: int = 200
+    batch_size: int = 48
+    learning_rate: float = 3e-3
+    name: str = "deepsense"
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) != len(self.labels):
+            raise ValueError("inputs and labels must align")
+        if len(self.inputs) == 0:
+            raise ValueError("training data must not be empty")
+        if np.asarray(self.inputs).ndim != 4:
+            raise ValueError("inputs must be (N, channels, intervals, samples)")
+        if self.steps < 1:
+            raise ValueError("steps must be >= 1")
+
+
+@dataclass
+class DeepSenseTrainResponse:
+    model_id: str
+    train_accuracy: float
+    steps: int
+
+
+@dataclass
+class ClassifyRequest:
+    """Single-shot classification (no staged scheduling) by any classifier
+    model — a trained DeepSense network or a staged model's final exit."""
+
+    model_id: str
+    inputs: np.ndarray
+
+
+@dataclass
+class ClassifyResponse:
+    predictions: np.ndarray
+    confidences: np.ndarray
+
+
+@dataclass
+class EstimatorTrainRequest:
+    """Train a regression (estimation) model with calibrated uncertainty.
+
+    Eugene's inference functions cover "estimation and classification
+    (depending on whether the sought results are continuous or categorical)";
+    this is the continuous half, trained with the RDeepSense weighted
+    MSE+NLL loss so the returned intervals are calibrated (Sec. II-D).
+    """
+
+    inputs: np.ndarray
+    targets: np.ndarray
+    #: w in w*MSE + (1-w)*NLL; 0.5 is the calibrated middle ground.
+    loss_weight: float = 0.5
+    hidden: int = 32
+    steps: int = 400
+    name: str = "estimator"
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) != len(self.targets):
+            raise ValueError("inputs and targets must align")
+        if len(self.inputs) == 0:
+            raise ValueError("training data must not be empty")
+        if not 0.0 <= self.loss_weight <= 1.0:
+            raise ValueError("loss_weight must be in [0, 1]")
+
+
+@dataclass
+class EstimatorTrainResponse:
+    model_id: str
+    train_mae: float
+    #: empirical coverage of the 90% predictive interval on training data.
+    coverage_90: float
+
+
+@dataclass
+class EstimateRequest:
+    """Point estimates plus predictive intervals for new inputs."""
+
+    model_id: str
+    inputs: np.ndarray
+    #: central interval mass, e.g. 0.9 for a 90% interval.
+    confidence_level: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.confidence_level < 1.0:
+            raise ValueError("confidence_level must be in (0, 1)")
+
+
+@dataclass
+class EstimateResponse:
+    means: np.ndarray
+    stds: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    confidence_level: float

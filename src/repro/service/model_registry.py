@@ -1,0 +1,79 @@
+"""Registry of trained / reduced models held by the Eugene back-end."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..nn.data import Dataset
+from ..nn.resnet import StagedResNet
+from ..scheduler.confidence import GPConfidencePredictor
+
+
+@dataclass
+class ModelEntry:
+    """A registered model plus the artifacts the service keeps beside it."""
+
+    model_id: str
+    name: str
+    model: StagedResNet
+    kind: str = "full"  # "full" or "reduced"
+    #: the training set, retained for reduction/calibration requests.
+    train_set: Optional[Dataset] = None
+    #: confidence-curve predictor fitted on training confidences (Sec. III-B).
+    predictor: Optional[GPConfidencePredictor] = None
+    #: class map of reduced models (original class -> reduced output index).
+    class_map: Optional[Dict[int, int]] = None
+    parent_id: Optional[str] = None
+
+
+class ModelRegistry:
+    """In-memory model store with sequential ids."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, ModelEntry] = {}
+        self._counter = itertools.count(1)
+
+    def register(
+        self,
+        name: str,
+        model: StagedResNet,
+        kind: str = "full",
+        train_set: Optional[Dataset] = None,
+        predictor: Optional[GPConfidencePredictor] = None,
+        class_map: Optional[Dict[int, int]] = None,
+        parent_id: Optional[str] = None,
+    ) -> ModelEntry:
+        model_id = f"m{next(self._counter)}"
+        entry = ModelEntry(
+            model_id=model_id,
+            name=name,
+            model=model,
+            kind=kind,
+            train_set=train_set,
+            predictor=predictor,
+            class_map=class_map,
+            parent_id=parent_id,
+        )
+        self._entries[model_id] = entry
+        return entry
+
+    def get(self, model_id: str) -> ModelEntry:
+        if model_id not in self._entries:
+            raise KeyError(f"unknown model id {model_id!r}")
+        return self._entries[model_id]
+
+    def __contains__(self, model_id: str) -> bool:
+        return model_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def list_models(self) -> List[ModelEntry]:
+        return list(self._entries.values())
+
+    def delete(self, model_id: str) -> None:
+        if model_id not in self._entries:
+            raise KeyError(f"unknown model id {model_id!r}")
+        del self._entries[model_id]

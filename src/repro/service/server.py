@@ -1,0 +1,315 @@
+"""The Eugene back-end service (Sec. II's service suite, wired together)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from scipy.stats import norm
+
+from ..calibration.entropy_reg import EntropyCalibrator
+from ..calibration.rdeepsense import fit_gaussian_regressor, interval_coverage
+from ..compression.pruning import shrink_staged_resnet
+from ..labeling.semi_supervised import SenseGANConfig, SenseGANLabeler, self_training_labels
+from ..nn.data import Dataset
+from ..nn.deepsense import DeepSense, DeepSenseConfig
+from ..nn.losses import cross_entropy
+from ..nn.optim import Adam
+from ..nn.resnet import StagedResNet, StagedResNetConfig
+from ..nn.tensor import Tensor
+from ..profiling.cost_model import MobileDeviceCostModel
+from ..profiling.stage_costs import stage_execution_times
+from ..scheduler.confidence import GPConfidencePredictor
+from ..scheduler.policies import RTDeepIoTPolicy
+from ..scheduler.runtime import RuntimeConfig, StagedInferenceRuntime
+from ..nn.training import (
+    collect_stage_outputs,
+    evaluate_stage_accuracy,
+    train_staged_model,
+)
+from .messages import (
+    CalibrateRequest,
+    CalibrateResponse,
+    ClassifyRequest,
+    ClassifyResponse,
+    DeepSenseTrainRequest,
+    DeepSenseTrainResponse,
+    EstimateRequest,
+    EstimateResponse,
+    EstimatorTrainRequest,
+    EstimatorTrainResponse,
+    InferRequest,
+    InferResponse,
+    LabelRequest,
+    LabelResponse,
+    ProfileRequest,
+    ProfileResponse,
+    ReduceRequest,
+    ReduceResponse,
+    TrainRequest,
+    TrainResponse,
+)
+from .model_registry import ModelRegistry
+
+
+class EugeneService:
+    """In-process implementation of the Eugene service endpoints.
+
+    Every endpoint takes one request dataclass and returns one response
+    dataclass — see :mod:`repro.service.messages` for the schema.
+    """
+
+    def __init__(
+        self,
+        device: Optional[MobileDeviceCostModel] = None,
+        seed: int = 0,
+    ) -> None:
+        self.registry = ModelRegistry()
+        self.device = device or MobileDeviceCostModel()
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # Training (Sec. II-A)
+    # ------------------------------------------------------------------
+    def train(self, request: TrainRequest) -> TrainResponse:
+        """Train a staged model on client data; fit its confidence curves."""
+        config = request.model_config or StagedResNetConfig(
+            num_classes=int(np.max(request.labels)) + 1,
+            in_channels=request.inputs.shape[1],
+            image_size=request.inputs.shape[2],
+        )
+        model = StagedResNet(config)
+        train_set = Dataset(request.inputs, request.labels)
+        report = train_staged_model(
+            model,
+            train_set,
+            epochs=request.epochs,
+            batch_size=request.batch_size,
+            lr=request.learning_rate,
+            seed=self.seed,
+        )
+        outputs = collect_stage_outputs(model, train_set)
+        predictor = GPConfidencePredictor(
+            num_classes=config.num_classes, seed=self.seed
+        ).fit(outputs["confidences"])
+        entry = self.registry.register(
+            name=request.name,
+            model=model,
+            train_set=train_set,
+            predictor=predictor,
+        )
+        accuracies = evaluate_stage_accuracy(model, train_set)
+        return TrainResponse(
+            model_id=entry.model_id,
+            epochs=request.epochs,
+            final_loss=report.final_loss,
+            stage_accuracies=tuple(float(a) for a in accuracies),
+        )
+
+    def train_deepsense(self, request: DeepSenseTrainRequest) -> DeepSenseTrainResponse:
+        """Train the DeepSense sensor-fusion architecture on time series."""
+        inputs = np.asarray(request.inputs, dtype=np.float64)
+        labels = np.asarray(request.labels, dtype=np.int64)
+        _, channels, intervals, samples = inputs.shape
+        config = request.model_config or DeepSenseConfig(
+            num_sensors=1,
+            channels_per_sensor=channels,
+            num_intervals=intervals,
+            samples_per_interval=samples,
+            output_dim=int(labels.max()) + 1,
+            seed=self.seed,
+        )
+        model = DeepSense(config)
+        optimizer = Adam(model.parameters(), lr=request.learning_rate)
+        rng = np.random.default_rng(self.seed)
+        for _ in range(request.steps):
+            idx = rng.choice(len(inputs), size=min(request.batch_size, len(inputs)),
+                             replace=False)
+            loss = cross_entropy(model(Tensor(inputs[idx])), labels[idx])
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        model.eval()
+        entry = self.registry.register(name=request.name, model=model,
+                                       kind="deepsense")
+        accuracy = float((model.predict(inputs) == labels).mean())
+        return DeepSenseTrainResponse(
+            model_id=entry.model_id,
+            train_accuracy=accuracy,
+            steps=request.steps,
+        )
+
+    def classify(self, request: ClassifyRequest) -> ClassifyResponse:
+        """Single-shot classification by any registered classifier model."""
+        entry = self.registry.get(request.model_id)
+        inputs = np.asarray(request.inputs, dtype=np.float64)
+        if entry.kind == "estimator":
+            raise ValueError("estimator models serve estimate(), not classify()")
+        if isinstance(entry.model, DeepSense):
+            probs = entry.model.predict_proba(inputs)
+        else:
+            probs = entry.model.predict_proba(inputs)[-1]
+        return ClassifyResponse(
+            predictions=probs.argmax(axis=-1),
+            confidences=probs.max(axis=-1),
+        )
+
+    # ------------------------------------------------------------------
+    # Labeling (Sec. II-A)
+    # ------------------------------------------------------------------
+    def label(self, request: LabelRequest) -> LabelResponse:
+        labeled = Dataset(request.labeled_inputs, request.labeled_targets)
+        if request.method == "sensegan":
+            labeler = SenseGANLabeler(
+                num_classes=request.num_classes,
+                input_dim=int(np.prod(request.labeled_inputs.shape[1:])),
+                config=SenseGANConfig(rounds=request.rounds, seed=self.seed),
+            )
+            labeler.fit(labeled, request.unlabeled_inputs)
+            labels, confidences = labeler.propose_labels(request.unlabeled_inputs)
+        else:
+            labels, confidences = self_training_labels(
+                labeled,
+                request.unlabeled_inputs,
+                num_classes=request.num_classes,
+                seed=self.seed,
+            )
+        return LabelResponse(labels=labels, confidences=confidences, method=request.method)
+
+    # ------------------------------------------------------------------
+    # Model reduction (Sec. II-B)
+    # ------------------------------------------------------------------
+    def reduce(self, request: ReduceRequest) -> ReduceResponse:
+        entry = self.registry.get(request.model_id)
+        if entry.train_set is None:
+            raise ValueError("model was registered without training data")
+        width = request.width_fraction
+        if width is None:
+            if request.max_parameters is not None:
+                ratio = request.max_parameters / entry.model.num_parameters()
+                width = float(np.clip(np.sqrt(ratio), 0.1, 1.0))
+            else:
+                width = 0.5
+        reduced, class_map = shrink_staged_resnet(
+            entry.model,
+            entry.train_set,
+            width_fraction=width,
+            class_subset=request.class_subset,
+            epochs=request.epochs,
+            seed=self.seed,
+        )
+        child = self.registry.register(
+            name=f"{entry.name}-reduced",
+            model=reduced,
+            kind="reduced",
+            class_map=class_map,
+            parent_id=entry.model_id,
+        )
+        return ReduceResponse(
+            model_id=child.model_id,
+            parameters=reduced.num_parameters(),
+            original_parameters=entry.model.num_parameters(),
+            class_map=class_map,
+        )
+
+    # ------------------------------------------------------------------
+    # Profiling (Sec. II-C)
+    # ------------------------------------------------------------------
+    def profile(self, request: ProfileRequest) -> ProfileResponse:
+        entry = self.registry.get(request.model_id)
+        times = stage_execution_times(
+            entry.model, self.device, normalize=request.normalize
+        )
+        return ProfileResponse(
+            stage_times_ms=tuple(times), total_time_ms=float(sum(times))
+        )
+
+    # ------------------------------------------------------------------
+    # Result-quality calibration (Sec. II-D / III-A)
+    # ------------------------------------------------------------------
+    def calibrate(self, request: CalibrateRequest) -> CalibrateResponse:
+        entry = self.registry.get(request.model_id)
+        calibrator = EntropyCalibrator(epochs=request.epochs, seed=self.seed)
+        results = calibrator.calibrate(
+            entry.model, Dataset(request.inputs, request.labels)
+        )
+        # Confidence curves changed; refit the scheduler's predictor.
+        if entry.train_set is not None:
+            outputs = collect_stage_outputs(entry.model, entry.train_set)
+            entry.predictor = GPConfidencePredictor(
+                num_classes=entry.model.config.num_classes, seed=self.seed
+            ).fit(outputs["confidences"])
+        return CalibrateResponse(
+            alphas=tuple(r.alpha for r in results),
+            ece_before=tuple(r.ece_before for r in results),
+            ece_after=tuple(r.ece_after for r in results),
+        )
+
+    # ------------------------------------------------------------------
+    # Estimation service (Sec. II: the continuous-output task family)
+    # ------------------------------------------------------------------
+    def train_estimator(self, request: EstimatorTrainRequest) -> EstimatorTrainResponse:
+        """Train a Gaussian regressor under the RDeepSense weighted loss."""
+        x = np.asarray(request.inputs, dtype=np.float64).reshape(len(request.inputs), -1)
+        y = np.asarray(request.targets, dtype=np.float64)
+        if y.ndim == 1:
+            y = y[:, None]
+        model = fit_gaussian_regressor(
+            x, y, weight=request.loss_weight, hidden=request.hidden,
+            steps=request.steps, seed=self.seed,
+        )
+        entry = self.registry.register(name=request.name, model=model,
+                                       kind="estimator")
+        mean, std = model.predict(x)
+        return EstimatorTrainResponse(
+            model_id=entry.model_id,
+            train_mae=float(np.abs(mean - y).mean()),
+            coverage_90=interval_coverage(mean, std, y, 0.9),
+        )
+
+    def estimate(self, request: EstimateRequest) -> EstimateResponse:
+        """Point estimates + predictive intervals from a trained estimator."""
+        entry = self.registry.get(request.model_id)
+        if entry.kind != "estimator":
+            raise ValueError(
+                f"model {request.model_id!r} is a {entry.kind!r} model, "
+                "not an estimator"
+            )
+        x = np.asarray(request.inputs, dtype=np.float64).reshape(len(request.inputs), -1)
+        mean, std = entry.model.predict(x)
+        z = float(norm.ppf(0.5 + request.confidence_level / 2.0))
+        return EstimateResponse(
+            means=mean,
+            stds=std,
+            lower=mean - z * std,
+            upper=mean + z * std,
+            confidence_level=request.confidence_level,
+        )
+
+    # ------------------------------------------------------------------
+    # Run-time inference (Sec. II-E / III)
+    # ------------------------------------------------------------------
+    def infer(self, request: InferRequest) -> InferResponse:
+        entry = self.registry.get(request.model_id)
+        if entry.predictor is None:
+            raise ValueError(
+                "model has no confidence predictor; train() registers one"
+            )
+        policy = RTDeepIoTPolicy(entry.predictor, k=request.lookahead)
+        runtime = StagedInferenceRuntime(
+            entry.model,
+            policy,
+            RuntimeConfig(
+                num_workers=request.num_workers,
+                latency_constraint=request.latency_constraint_s,
+            ),
+        )
+        runtime.submit(request.inputs)
+        results = runtime.run_until_complete()
+        return InferResponse(
+            predictions=[r.prediction for r in results],
+            confidences=[r.confidence for r in results],
+            stages_executed=[len(r.outcomes) for r in results],
+            evicted=[r.evicted for r in results],
+        )

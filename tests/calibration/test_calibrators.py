@@ -1,0 +1,151 @@
+"""Tests for entropy-regularization calibration, MC-dropout and temperature scaling."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import (
+    EntropyCalibrator,
+    MCDropoutClassifier,
+    MCDropoutStagedWrapper,
+    TemperatureScaler,
+    choose_alpha,
+    expected_calibration_error,
+)
+from repro.datasets import SyntheticImageConfig, make_image_dataset
+from repro.nn import Dense, Dropout, ReLU, Sequential, StagedResNet, StagedResNetConfig
+from repro.nn.training import collect_stage_outputs, train_staged_model
+
+
+TINY = StagedResNetConfig(
+    num_classes=4, image_size=8, stage_channels=(4, 8), blocks_per_stage=1, seed=0
+)
+
+
+@pytest.fixture(scope="module")
+def trained_model():
+    cfg = SyntheticImageConfig(num_classes=4, image_size=8, seed=3)
+    train_set = make_image_dataset(600, cfg, seed=0)
+    cal_set = make_image_dataset(300, cfg, seed=1)
+    test_set = make_image_dataset(300, cfg, seed=2)
+    model = StagedResNet(TINY)
+    train_staged_model(model, train_set, epochs=10, batch_size=32, lr=1e-2)
+    return model, cal_set, test_set
+
+
+class TestChooseAlpha:
+    def test_overconfident_gets_negative(self):
+        assert choose_alpha(accuracy=0.6, mean_confidence=0.9, magnitude=0.5) == -0.5
+
+    def test_underconfident_gets_positive(self):
+        assert choose_alpha(accuracy=0.9, mean_confidence=0.6, magnitude=0.3) == 0.3
+
+    def test_already_calibrated_gets_zero(self):
+        assert choose_alpha(0.80, 0.8005) == 0.0
+
+
+class TestEntropyCalibrator:
+    def test_reduces_ece_on_heldout(self, trained_model):
+        model, cal_set, test_set = trained_model
+        before = collect_stage_outputs(model, test_set)
+        ece_before = [
+            expected_calibration_error(before["confidences"][s], before["correct"][s])
+            for s in range(model.num_stages)
+        ]
+        results = EntropyCalibrator(epochs=3, seed=0).calibrate(model, cal_set)
+        after = collect_stage_outputs(model, test_set)
+        ece_after = [
+            expected_calibration_error(after["confidences"][s], after["correct"][s])
+            for s in range(model.num_stages)
+        ]
+        assert len(results) == model.num_stages
+        # Calibration must help on average across stages.
+        assert np.mean(ece_after) < np.mean(ece_before)
+
+    def test_results_record_alpha_and_ece(self, trained_model):
+        model, cal_set, _ = trained_model
+        results = EntropyCalibrator(epochs=1, search=False).calibrate(model, cal_set)
+        for r in results:
+            assert r.ece_before >= 0
+            assert r.ece_after >= 0
+
+
+class TestMCDropout:
+    def test_staged_wrapper_output_contract(self, trained_model):
+        model, _, test_set = trained_model
+        wrapper = MCDropoutStagedWrapper(model, rate=0.25, passes=5, seed=0)
+        out = wrapper.collect_outputs(test_set)
+        n = len(test_set)
+        assert out["confidences"].shape == (model.num_stages, n)
+        assert ((out["confidences"] > 0) & (out["confidences"] <= 1)).all()
+
+    def test_probabilities_sum_to_one(self, trained_model):
+        model, _, test_set = trained_model
+        wrapper = MCDropoutStagedWrapper(model, rate=0.25, passes=3, seed=0)
+        probs = wrapper.predict_proba(test_set.inputs[:8])
+        for p in probs:
+            np.testing.assert_allclose(p.sum(axis=-1), np.ones(8), atol=1e-9)
+
+    def test_averaging_lowers_confidence_vs_deterministic(self, trained_model):
+        """MC averaging over dropout masks softens overconfident outputs."""
+        model, _, test_set = trained_model
+        wrapper = MCDropoutStagedWrapper(model, rate=0.4, passes=10, seed=0)
+        mc = wrapper.collect_outputs(test_set)["confidences"].mean()
+        det = collect_stage_outputs(model, test_set)["confidences"].mean()
+        assert mc < det + 1e-6
+
+    def test_invalid_params(self, trained_model):
+        model, *_ = trained_model
+        with pytest.raises(ValueError):
+            MCDropoutStagedWrapper(model, rate=0.0)
+        with pytest.raises(ValueError):
+            MCDropoutStagedWrapper(model, passes=0)
+
+    def test_generic_classifier_wrapper(self):
+        rng = np.random.default_rng(0)
+        net = Sequential(Dense(4, 16, rng=rng), ReLU(),
+                         Dropout(0.3, seed=1, always_on=True), Dense(16, 3, rng=rng))
+        net.eval()
+        clf = MCDropoutClassifier(net, passes=4)
+        probs = clf.predict_proba(rng.normal(size=(6, 4)))
+        assert probs.shape == (6, 3)
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones(6), atol=1e-9)
+
+    def test_generic_classifier_passes_validated(self):
+        clf = MCDropoutClassifier(Dense(2, 2), passes=0)
+        with pytest.raises(ValueError):
+            clf.predict_proba(np.zeros((1, 2)))
+
+
+class TestTemperatureScaler:
+    def test_recovers_known_temperature(self):
+        """Logits drawn well-calibrated then multiplied by 3 → T ~ 3."""
+        rng = np.random.default_rng(0)
+        n, c = 4000, 5
+        true_logits = rng.normal(size=(n, c)) * 2
+        probs = np.exp(true_logits) / np.exp(true_logits).sum(-1, keepdims=True)
+        labels = np.array([rng.choice(c, p=p) for p in probs])
+        scaler = TemperatureScaler().fit(true_logits * 3.0, labels)
+        assert scaler.temperature == pytest.approx(3.0, rel=0.15)
+
+    def test_reduces_ece_of_overconfident_logits(self):
+        rng = np.random.default_rng(1)
+        n, c = 3000, 4
+        base = rng.normal(size=(n, c))
+        probs = np.exp(base) / np.exp(base).sum(-1, keepdims=True)
+        labels = np.array([rng.choice(c, p=p) for p in probs])
+        sharp = base * 4.0
+        sharp_probs = np.exp(sharp) / np.exp(sharp).sum(-1, keepdims=True)
+        conf_before = sharp_probs.max(-1)
+        correct = sharp_probs.argmax(-1) == labels
+        ece_before = expected_calibration_error(conf_before, correct)
+        calibrated = TemperatureScaler().fit_transform(sharp, labels)
+        ece_after = expected_calibration_error(calibrated.max(-1), calibrated.argmax(-1) == labels)
+        assert ece_after < ece_before
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TemperatureScaler().transform(np.zeros((2, 2)))
+
+    def test_fit_validates_shapes(self):
+        with pytest.raises(ValueError):
+            TemperatureScaler().fit(np.zeros(3), np.zeros(3, dtype=int))

@@ -1,0 +1,117 @@
+"""Tests for ECE / reliability diagrams (Eq. 1-3, Fig. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calibration import (
+    expected_calibration_error,
+    maximum_calibration_error,
+    reliability_diagram,
+    summarize_calibration,
+)
+
+
+class TestReliabilityDiagram:
+    def test_perfectly_calibrated_data(self):
+        """Samples whose accuracy equals confidence in every bin → ECE ~ 0."""
+        rng = np.random.default_rng(0)
+        n = 60_000
+        conf = rng.uniform(0.05, 0.95, size=n)
+        correct = rng.random(n) < conf
+        assert expected_calibration_error(conf, correct, 10) < 0.01
+
+    def test_fully_overconfident(self):
+        """Always conf=1.0 but 50% correct → ECE = 0.5."""
+        conf = np.ones(100)
+        correct = np.array([True, False] * 50)
+        assert expected_calibration_error(conf, correct, 10) == pytest.approx(0.5)
+
+    def test_binning_follows_paper_interval_convention(self):
+        """Bins are ((m-1)/M, m/M]: conf exactly 0.1 goes to the first bin."""
+        diagram = reliability_diagram(np.array([0.1, 0.10001]), np.array([True, True]), 10)
+        assert diagram.counts[0] == 1
+        assert diagram.counts[1] == 1
+
+    def test_zero_confidence_lands_in_first_bin(self):
+        diagram = reliability_diagram(np.array([0.0]), np.array([False]), 10)
+        assert diagram.counts[0] == 1
+
+    def test_empty_bins_are_nan(self):
+        diagram = reliability_diagram(np.array([0.95, 0.92]), np.array([True, False]), 10)
+        assert np.isnan(diagram.accuracy[0])
+        assert diagram.counts[:9].sum() == 0
+
+    def test_diagram_ece_matches_function(self):
+        rng = np.random.default_rng(1)
+        conf = rng.uniform(0, 1, 500)
+        correct = rng.random(500) < 0.5
+        diagram = reliability_diagram(conf, correct)
+        assert diagram.ece() == pytest.approx(expected_calibration_error(conf, correct))
+
+    def test_gap_property(self):
+        diagram = reliability_diagram(
+            np.array([0.95] * 10), np.array([True] * 5 + [False] * 5), 10
+        )
+        assert diagram.gap[-1] == pytest.approx(0.45)
+
+    def test_render_ascii_mentions_bins(self):
+        diagram = reliability_diagram(np.array([0.55]), np.array([True]), 10)
+        text = diagram.render_ascii()
+        assert "(0.55)" in text
+        assert "(empty)" in text
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            reliability_diagram(np.array([1.5]), np.array([True]))
+        with pytest.raises(ValueError):
+            reliability_diagram(np.array([]), np.array([], dtype=bool))
+        with pytest.raises(ValueError):
+            reliability_diagram(np.array([0.5, 0.5]), np.array([True]))
+        with pytest.raises(ValueError):
+            reliability_diagram(np.array([0.5]), np.array([True]), num_bins=0)
+
+
+class TestScalarMetrics:
+    def test_mce_at_least_ece(self):
+        rng = np.random.default_rng(2)
+        conf = rng.uniform(0, 1, 300)
+        correct = rng.random(300) < conf**2  # miscalibrated
+        ece = expected_calibration_error(conf, correct)
+        mce = maximum_calibration_error(conf, correct)
+        assert mce >= ece
+
+    def test_summary_overconfident_flag(self):
+        conf = np.full(50, 0.9)
+        correct = np.zeros(50, dtype=bool)
+        summary = summarize_calibration(conf, correct)
+        assert summary.overconfident
+        assert summary.accuracy == 0.0
+        assert summary.mean_confidence == pytest.approx(0.9)
+
+    def test_summary_underconfident(self):
+        conf = np.full(50, 0.4)
+        correct = np.ones(50, dtype=bool)
+        assert not summarize_calibration(conf, correct).overconfident
+
+    @given(st.integers(1, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_ece_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        n = rng.integers(1, 200)
+        conf = rng.uniform(0, 1, n)
+        correct = rng.random(n) < 0.5
+        ece = expected_calibration_error(conf, correct)
+        assert 0.0 <= ece <= 1.0
+
+    @given(st.integers(1, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_ece_invariant_to_permutation(self, seed):
+        rng = np.random.default_rng(seed)
+        conf = rng.uniform(0, 1, 50)
+        correct = rng.random(50) < 0.5
+        order = rng.permutation(50)
+        assert expected_calibration_error(conf, correct) == pytest.approx(
+            expected_calibration_error(conf[order], correct[order])
+        )

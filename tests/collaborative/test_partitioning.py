@@ -1,0 +1,181 @@
+"""Tests for client/server model partitioning (Sec. IV-A extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collaborative import (
+    LinkSpec,
+    PartitionPlanner,
+    exit_probabilities,
+    plan_chain_partition,
+)
+
+
+FAST_LINK = LinkSpec(bandwidth_bytes_per_s=1e9, rtt_s=0.0)
+SLOW_LINK = LinkSpec(bandwidth_bytes_per_s=1e4, rtt_s=0.2)
+
+
+def planner(link=FAST_LINK, exit_probs=None, client=(1.0, 1.0, 1.0),
+            server=(0.1, 0.1, 0.1), boundary=(1000.0, 500.0, 100.0),
+            input_bytes=4000.0):
+    return PartitionPlanner(
+        client_stage_costs_s=client,
+        server_stage_costs_s=server,
+        boundary_feature_bytes=boundary,
+        input_bytes=input_bytes,
+        link=link,
+        exit_probs=exit_probs,
+    )
+
+
+class TestExitProbabilities:
+    def test_all_exit_at_first_stage(self):
+        conf = np.array([[0.9, 0.95], [0.99, 0.99], [0.99, 0.99]])
+        np.testing.assert_allclose(exit_probabilities(conf, 0.8), [1, 0, 0])
+
+    def test_never_crossing_goes_to_last(self):
+        conf = np.full((3, 4), 0.2)
+        np.testing.assert_allclose(exit_probabilities(conf, 0.9), [0, 0, 1])
+
+    def test_mixed(self):
+        conf = np.array(
+            [[0.9, 0.3, 0.3, 0.3],
+             [0.95, 0.9, 0.4, 0.4],
+             [0.99, 0.95, 0.9, 0.5]]
+        )
+        np.testing.assert_allclose(exit_probabilities(conf, 0.85), [0.25, 0.25, 0.5])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exit_probabilities(np.zeros(3), 0.5)
+        with pytest.raises(ValueError):
+            exit_probabilities(np.zeros((3, 0)), 0.5)
+
+    @given(st.floats(0.1, 0.99))
+    @settings(max_examples=30, deadline=None)
+    def test_property_distribution(self, threshold):
+        rng = np.random.default_rng(int(threshold * 1000))
+        conf = rng.uniform(0, 1, (3, 50))
+        probs = exit_probabilities(conf, threshold)
+        assert probs.sum() == pytest.approx(1.0)
+        assert (probs >= 0).all()
+
+
+class TestPartitionPlanner:
+    def test_fast_server_fast_link_prefers_full_offload(self):
+        plan = planner(link=FAST_LINK).plan()
+        assert plan.cut == 0
+        assert plan.fully_remote
+
+    def test_slow_link_prefers_local_execution(self):
+        """When the uplink is expensive and the client is capable, keep it local."""
+        plan = planner(link=SLOW_LINK, client=(0.2, 0.2, 0.2)).plan()
+        assert plan.cut == 3
+        assert plan.offload_probability == 0.0
+
+    def test_early_exits_pull_work_toward_the_client(self):
+        """If most tasks exit confidently after stage 1, running stage 1 on
+        the client avoids most uplinks even on a moderate link."""
+        link = LinkSpec(bandwidth_bytes_per_s=1e4, rtt_s=0.0)
+        kwargs = dict(
+            link=link,
+            client=(0.3, 0.5, 0.5),
+            server=(0.1, 0.1, 0.1),
+            boundary=(200.0, 150.0, 100.0),
+            input_bytes=4000.0,
+        )
+        no_exit = planner(**kwargs).plan()
+        with_exit = planner(exit_probs=(0.8, 0.1, 0.1), **kwargs).plan()
+        assert with_exit.cut >= 1
+        assert with_exit.cut >= no_exit.cut
+        assert with_exit.offload_probability <= 0.2 + 1e-9
+        assert with_exit.expected_latency_s < no_exit.expected_latency_s
+
+    def test_smaller_boundary_exploited(self):
+        """Cutting where the representation is small reduces transfer time."""
+        p = planner(
+            link=LinkSpec(bandwidth_bytes_per_s=1e5, rtt_s=0.0),
+            client=(0.01, 0.01, 10.0),
+            server=(0.01, 0.01, 0.01),
+            boundary=(10_000.0, 10.0, 5.0),
+            input_bytes=20_000.0,
+        )
+        plan = p.plan()
+        assert plan.cut == 2  # cut after stage 2 where the boundary is tiny
+
+    def test_compute_budget_constrains(self):
+        p = planner(link=SLOW_LINK, client=(0.2, 0.2, 0.2))
+        plan = p.plan(client_compute_budget_s=0.25)
+        assert plan.client_compute_s <= 0.25
+        assert plan.cut <= 1
+
+    def test_infeasible_raises(self):
+        p = planner(link=SLOW_LINK)
+        with pytest.raises(ValueError):
+            p.plan(latency_constraint_s=1e-6)
+
+    def test_expected_latency_cut_bounds(self):
+        p = planner()
+        with pytest.raises(ValueError):
+            p.expected_latency(7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkSpec(bandwidth_bytes_per_s=0)
+        with pytest.raises(ValueError):
+            PartitionPlanner([1.0], [1.0, 1.0], [10.0], 10.0, FAST_LINK)
+        with pytest.raises(ValueError):
+            planner(exit_probs=(0.5, 0.5, 0.5))
+
+    def test_per_cut_latencies_reported(self):
+        plan = planner().plan()
+        assert len(plan.per_cut_latencies) == 4
+        assert min(plan.per_cut_latencies) == pytest.approx(plan.expected_latency_s)
+
+
+class TestChainPartition:
+    def test_single_tier_runs_everything(self):
+        cuts, total = plan_chain_partition(
+            [(1.0, 1.0)], boundary_feature_bytes=(10.0, 10.0),
+            input_bytes=10.0, links=(),
+        )
+        assert cuts == []
+        assert total == pytest.approx(2.0)
+
+    def test_three_tier_chain(self):
+        """Sensor slow, gateway medium, server fast; links get faster deeper."""
+        cuts, total = plan_chain_partition(
+            [
+                (5.0, 5.0, 5.0, 5.0),   # sensor
+                (1.0, 1.0, 1.0, 1.0),   # gateway
+                (0.1, 0.1, 0.1, 0.1),   # server
+            ],
+            boundary_feature_bytes=(100.0, 50.0, 25.0, 10.0),
+            input_bytes=200.0,
+            links=(
+                LinkSpec(bandwidth_bytes_per_s=1e3),
+                LinkSpec(bandwidth_bytes_per_s=1e6),
+            ),
+        )
+        assert len(cuts) == 2
+        assert 0 <= cuts[0] <= cuts[1] <= 4
+        # The expensive sensor should not run everything.
+        assert cuts[0] < 4
+        assert total > 0
+
+    def test_monotone_cuts(self):
+        cuts, _ = plan_chain_partition(
+            [(1.0,) * 5, (0.5,) * 5, (0.1,) * 5],
+            boundary_feature_bytes=(10.0,) * 5,
+            input_bytes=10.0,
+            links=(LinkSpec(1e6), LinkSpec(1e6)),
+        )
+        assert cuts == sorted(cuts)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_chain_partition([], (), 1.0, ())
+        with pytest.raises(ValueError):
+            plan_chain_partition([(1.0,)], (1.0,), 1.0, (LinkSpec(1e6),))

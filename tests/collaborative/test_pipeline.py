@@ -1,0 +1,284 @@
+"""Tests for the detector, collaborative pipeline, broker and resilience."""
+
+import numpy as np
+import pytest
+
+from repro.collaborative import (
+    Camera,
+    CameraPose,
+    CollaborationBroker,
+    CollaborativePipeline,
+    Detection,
+    DetectorConfig,
+    ResilienceMonitor,
+    RogueCamera,
+    SSDDetector,
+    World,
+    WorldConfig,
+    match_detections,
+    ring_of_cameras,
+)
+
+
+@pytest.fixture(scope="module")
+def campus():
+    world = World(WorldConfig(num_people=12, num_occluders=6, seed=2))
+    return world, ring_of_cameras(8, world)
+
+
+class TestDetector:
+    def test_detection_probability_zero_outside_fov(self, campus):
+        world, cams = campus
+        detector = SSDDetector(seed=0)
+        # Camera 0 sits on the +x boundary facing the center, so "behind"
+        # is further along +x.
+        behind = cams[0].pose.position + np.array([10.0, 0.0])
+        # A point straight behind camera 0 (which faces the center).
+        p = detector.detection_probability(cams[0], behind, world)
+        assert p == 0.0
+
+    def test_probability_decays_with_distance(self, campus):
+        world, cams = campus
+        cam = Camera(0, CameraPose(x=0, y=50, orientation=0.0, max_range=80))
+        detector = SSDDetector(seed=0)
+        near = detector.detection_probability(cam, np.array([5.0, 50.0]), world)
+        far = detector.detection_probability(cam, np.array([70.0, 50.0]), world)
+        assert near > far
+
+    def test_detections_have_world_remap_consistency(self, campus):
+        world, cams = campus
+        detector = SSDDetector(seed=1)
+        for det in detector.detect(cams[0], world, t=3.0):
+            recon = cams[0].to_world(det.bearing, det.distance)
+            np.testing.assert_allclose(recon, det.world_xy, atol=1e-9)
+
+    def test_false_positives_have_no_true_person(self, campus):
+        world, cams = campus
+        cfg = DetectorConfig(clutter_rate=5.0)
+        detector = SSDDetector(cfg, seed=2)
+        dets = detector.detect(cams[0], world, t=0.0)
+        assert any(d.true_person is None for d in dets)
+
+    def test_verify_prior_confirms_real_person(self, campus):
+        world, cams = campus
+        detector = SSDDetector(seed=3)
+        positions = world.positions_at(5.0)
+        visible = [p for p in positions if cams[0].in_fov(p)]
+        if not visible:
+            pytest.skip("no visible person at this instant")
+        hits = 0
+        for _ in range(20):
+            if detector.verify_prior(cams[0], world, 5.0, visible[0]) is not None:
+                hits += 1
+        assert hits >= 10  # ROI verification is highly sensitive
+
+    def test_verify_prior_rejects_empty_region(self, campus):
+        world, cams = campus
+        detector = SSDDetector(seed=4)
+        positions = world.positions_at(5.0)
+        # Find an in-FoV point far from every person.
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            candidate = np.array(
+                [rng.uniform(0, 100), rng.uniform(0, 100)]
+            )
+            if cams[0].in_fov(candidate) and (
+                np.linalg.norm(positions - candidate, axis=1).min() > 6.0
+            ):
+                assert detector.verify_prior(cams[0], world, 5.0, candidate) is None
+                return
+        pytest.skip("no empty in-FoV region found")
+
+    def test_latency_model(self):
+        detector = SSDDetector()
+        assert detector.full_frame_latency_ms() == 550.0
+        assert detector.prior_frame_latency_ms(10) == pytest.approx(12.0 + 1.5)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DetectorConfig(base_detect_prob=0.0)
+        with pytest.raises(ValueError):
+            DetectorConfig(full_latency_ms=-1)
+
+
+class TestMatchDetections:
+    def make_det(self, xy, conf=0.9):
+        return Detection(camera_id=0, bearing=0.0, distance=1.0,
+                         world_xy=xy, confidence=conf)
+
+    def test_perfect_match(self):
+        truth = np.array([[0.0, 0.0], [10.0, 10.0]])
+        dets = [self.make_det((0.2, 0.1)), self.make_det((10.1, 9.8))]
+        assert match_detections(dets, truth) == (2, 0, 0)
+
+    def test_false_positive_and_negative(self):
+        truth = np.array([[0.0, 0.0]])
+        dets = [self.make_det((50.0, 50.0))]
+        assert match_detections(dets, truth) == (0, 1, 1)
+
+    def test_no_double_matching(self):
+        truth = np.array([[0.0, 0.0]])
+        dets = [self.make_det((0.1, 0.0)), self.make_det((0.0, 0.1))]
+        tp, fp, fn = match_detections(dets, truth)
+        assert (tp, fp, fn) == (1, 1, 0)
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ValueError):
+            match_detections([], np.zeros((0, 2)), tolerance=0)
+
+
+class TestCollaborativePipeline:
+    @pytest.fixture(scope="class")
+    def runs(self, campus):
+        world, cams = campus
+        individual = CollaborativePipeline(world, cams, SSDDetector(seed=0))
+        ind_results = individual.run_individual(60)
+        ind_eval = individual.evaluate(ind_results)
+        collab = CollaborativePipeline(world, cams, SSDDetector(seed=0))
+        col_results = collab.run_collaborative(60)
+        col_eval = collab.evaluate(col_results)
+        return ind_eval, col_eval, col_results
+
+    def test_collaboration_improves_detection_accuracy(self, runs):
+        ind_eval, col_eval, _ = runs
+        assert col_eval.detection_accuracy > ind_eval.detection_accuracy
+
+    def test_collaboration_slashes_latency(self, runs):
+        """Table IV: >10x average latency reduction."""
+        ind_eval, col_eval, _ = runs
+        assert ind_eval.mean_latency_ms / col_eval.mean_latency_ms > 8.0
+
+    def test_most_frames_use_prior_path(self, runs):
+        *_, col_results = runs
+        modes = [m for frame in col_results[1:] for m in frame.mode.values()]
+        assert modes.count("prior") / len(modes) > 0.8
+
+    def test_frame_zero_bootstraps_full(self, runs):
+        *_, col_results = runs
+        assert set(col_results[0].mode.values()) == {"full"}
+
+    def test_validation(self, campus):
+        world, cams = campus
+        with pytest.raises(ValueError):
+            CollaborativePipeline(world, [], SSDDetector())
+        with pytest.raises(ValueError):
+            CollaborativePipeline(world, cams, SSDDetector(), refresh_every=0)
+        with pytest.raises(ValueError):
+            CollaborativePipeline(world, cams, SSDDetector(), share_threshold=1.5)
+
+
+class TestBroker:
+    def test_discovers_synthetic_concurrent_overlap(self):
+        rng = np.random.default_rng(0)
+        shared = rng.poisson(3, 200).astype(float)
+        streams = {
+            0: shared + rng.normal(0, 0.3, 200),
+            1: shared + rng.normal(0, 0.3, 200),
+            2: rng.poisson(3, 200).astype(float),
+        }
+        results = CollaborationBroker(threshold=0.5).discover(streams)
+        pairs = {(r.camera_a, r.camera_b) for r in results}
+        assert (0, 1) in pairs
+        assert (0, 2) not in pairs and (1, 2) not in pairs
+
+    def test_discovers_lagged_corridor_correlation(self):
+        """Two corridor cameras see the same people ~20 frames apart."""
+        rng = np.random.default_rng(1)
+        base = rng.poisson(2, 300).astype(float)
+        lag = 20
+        streams = {
+            0: base + rng.normal(0, 0.2, 300),
+            1: np.concatenate([np.zeros(lag), base[:-lag]]) + rng.normal(0, 0.2, 300),
+        }
+        results = CollaborationBroker(max_lag=30, threshold=0.5).discover(streams)
+        assert results
+        assert abs(results[0].lag) == lag
+
+    def test_no_lag_search_misses_lagged_pair(self):
+        rng = np.random.default_rng(2)
+        base = rng.poisson(2, 300).astype(float)
+        streams = {
+            0: base,
+            1: np.concatenate([np.zeros(25), base[:-25]]),
+        }
+        assert CollaborationBroker(max_lag=0, threshold=0.5).discover(streams) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CollaborationBroker(max_lag=-1)
+        with pytest.raises(ValueError):
+            CollaborationBroker(threshold=0.0)
+        with pytest.raises(ValueError):
+            CollaborationBroker().discover({0: np.zeros(5), 1: np.zeros(6)})
+
+    def test_single_stream_returns_empty(self):
+        assert CollaborationBroker().discover({0: np.zeros(10)}) == []
+
+    def test_count_streams_from_pipeline(self, campus):
+        world, cams = campus
+        pipeline = CollaborativePipeline(world, cams, SSDDetector(seed=0))
+        results = pipeline.run_individual(5)
+        streams = CollaborationBroker.count_streams(results, cams)
+        assert set(streams) == {c.camera_id for c in cams}
+        assert all(len(v) == 5 for v in streams.values())
+
+
+class TestResilience:
+    def test_rogue_degrades_accuracy_over_20_percent(self, campus):
+        """Sec. IV-C: false boxes from one node cut peer accuracy > 20%."""
+        world, cams = campus
+        clean = CollaborativePipeline(world, cams, SSDDetector(seed=0))
+        clean_eval = clean.evaluate(clean.run_collaborative(100))
+        attacked = CollaborativePipeline(
+            world, cams, SSDDetector(seed=0),
+            rogues=[RogueCamera(camera_id=99, rate=25.0, seed=7)],
+        )
+        att_eval = attacked.evaluate(attacked.run_collaborative(100))
+        drop = 1.0 - att_eval.detection_accuracy / clean_eval.detection_accuracy
+        assert drop > 0.15
+
+    def test_monitor_restores_accuracy(self, campus):
+        world, cams = campus
+        clean = CollaborativePipeline(world, cams, SSDDetector(seed=0))
+        clean_eval = clean.evaluate(clean.run_collaborative(100))
+        monitor = ResilienceMonitor()
+        defended = CollaborativePipeline(
+            world, cams, SSDDetector(seed=0),
+            rogues=[RogueCamera(camera_id=99, rate=25.0, seed=7)],
+            monitor=monitor,
+        )
+        def_eval = defended.evaluate(defended.run_collaborative(100))
+        assert 99 in monitor.distrusted_sources()
+        assert def_eval.detection_accuracy > 0.9 * clean_eval.detection_accuracy
+
+    def test_monitor_trust_mechanics(self):
+        monitor = ResilienceMonitor(min_verify_rate=0.5, min_observations=4)
+        assert monitor.trusted(7)  # innocent until observed
+        for verified in [False, False, False]:
+            monitor.record(7, verified)
+        assert monitor.trusted(7)  # below min observations
+        monitor.record(7, False)
+        assert not monitor.trusted(7)
+        assert monitor.verify_rate(7) == 0.0
+
+    def test_honest_source_stays_trusted(self):
+        monitor = ResilienceMonitor(min_verify_rate=0.3, min_observations=5)
+        for i in range(20):
+            monitor.record(3, verified=(i % 3 != 0))  # ~66% verify rate
+        assert monitor.trusted(3)
+
+    def test_rogue_validation(self):
+        with pytest.raises(ValueError):
+            RogueCamera(camera_id=1, rate=-1.0)
+        with pytest.raises(ValueError):
+            ResilienceMonitor(min_verify_rate=1.5)
+        with pytest.raises(ValueError):
+            ResilienceMonitor(min_observations=0)
+
+    def test_rogue_boxes_inside_world(self, campus):
+        world, _ = campus
+        rogue = RogueCamera(camera_id=1, rate=10.0, seed=0)
+        boxes = rogue.fake_boxes(world, 0.0)
+        for b in boxes:
+            assert 0 <= b[0] <= world.config.width
+            assert 0 <= b[1] <= world.config.height

@@ -1,0 +1,171 @@
+"""Tests for cross-camera tracking and track stitching."""
+
+import numpy as np
+import pytest
+
+from repro.collaborative import (
+    CollaborativeFrameResult,
+    CollaborativePipeline,
+    Detection,
+    SSDDetector,
+    World,
+    WorldConfig,
+    ring_of_cameras,
+)
+from repro.collaborative.tracking import (
+    Track,
+    TrackPoint,
+    Tracker,
+    stitch_tracks,
+    tracking_metrics,
+)
+
+
+def frame(t, dets_by_cam):
+    return CollaborativeFrameResult(
+        t=t,
+        detections=dets_by_cam,
+        latency_ms={c: 1.0 for c in dets_by_cam},
+        mode={c: "full" for c in dets_by_cam},
+    )
+
+
+def det(x, y, cam=0, person=None, conf=0.9):
+    return Detection(camera_id=cam, bearing=0.0, distance=1.0,
+                     world_xy=(float(x), float(y)), confidence=conf,
+                     true_person=person)
+
+
+class TestTracker:
+    def test_straight_walk_becomes_one_track(self):
+        frames = [frame(t, {0: [det(t * 1.0, 0.0, person=3)]}) for t in range(6)]
+        tracks = Tracker(gate=2.5).build_tracks(frames, camera_id=0)
+        assert len(tracks) == 1
+        assert tracks[0].length == 6
+        assert tracks[0].dominant_person() == 3
+
+    def test_two_people_two_tracks(self):
+        frames = [
+            frame(t, {0: [det(t, 0.0, person=0), det(t, 30.0, person=1)]})
+            for t in range(5)
+        ]
+        tracks = Tracker(gate=2.5).build_tracks(frames, camera_id=0)
+        assert len(tracks) == 2
+        assert {t.dominant_person() for t in tracks} == {0, 1}
+
+    def test_gap_beyond_silence_closes_track(self):
+        frames = (
+            [frame(t, {0: [det(t, 0.0, person=0)]}) for t in range(3)]
+            + [frame(t, {0: []}) for t in range(3, 10)]
+            + [frame(t, {0: [det(t, 0.0, person=0)]}) for t in range(10, 12)]
+        )
+        tracks = Tracker(gate=30.0, max_silence=3.0).build_tracks(frames, 0)
+        assert len(tracks) == 2
+
+    def test_prediction_constant_velocity(self):
+        track = Track(track_id=0, camera_id=0)
+        for t in range(4):
+            track.points.append(TrackPoint(t=float(t), xy=np.array([2.0 * t, 0.0])))
+        np.testing.assert_allclose(track.predict(5.0), [10.0, 0.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tracker(gate=0.0)
+        with pytest.raises(ValueError):
+            Tracker(max_silence=-1.0)
+
+    def test_clutter_starts_short_tracks(self):
+        frames = [frame(0.0, {0: [det(50, 50, person=None)]})]
+        tracks = Tracker().build_tracks(frames, 0)
+        assert len(tracks) == 1
+        assert tracks[0].dominant_person() is None
+
+
+class TestStitching:
+    def walk_track(self, track_id, cam, t0, x0, vx=1.0, steps=4, person=0):
+        track = Track(track_id=track_id, camera_id=cam)
+        for i in range(steps):
+            track.points.append(
+                TrackPoint(t=t0 + i, xy=np.array([x0 + vx * i, 0.0]),
+                           true_person=person)
+            )
+        return track
+
+    def test_handover_between_cameras(self):
+        a = self.walk_track(0, cam=0, t0=0.0, x0=0.0)
+        b = self.walk_track(1, cam=1, t0=5.0, x0=5.0)  # continues a's motion
+        groups = stitch_tracks([a, b], max_gap_s=3.0, max_distance=3.0)
+        assert len(groups) == 1
+        assert [t.track_id for t in groups[0]] == [0, 1]
+
+    def test_distant_tracks_not_stitched(self):
+        a = self.walk_track(0, cam=0, t0=0.0, x0=0.0)
+        b = self.walk_track(1, cam=1, t0=5.0, x0=80.0)
+        groups = stitch_tracks([a, b], max_gap_s=3.0, max_distance=3.0)
+        assert len(groups) == 2
+
+    def test_lagged_corridor_stitching(self):
+        """The Sec. IV-C corridor: camera 1 sees the person 20s after
+        camera 0; stitching succeeds only with the broker-supplied lag."""
+        a = self.walk_track(0, cam=0, t0=0.0, x0=0.0, vx=0.0)
+        b = self.walk_track(1, cam=1, t0=23.0, x0=0.5, vx=0.0)
+        no_lag = stitch_tracks([a, b], max_gap_s=3.0, max_distance=3.0, lag_s=0.0)
+        assert len(no_lag) == 2
+        with_lag = stitch_tracks([a, b], max_gap_s=3.0, max_distance=3.0, lag_s=20.0)
+        assert len(with_lag) == 1
+
+    def test_chain_of_three(self):
+        a = self.walk_track(0, 0, t0=0.0, x0=0.0)
+        b = self.walk_track(1, 1, t0=5.0, x0=5.0)
+        c = self.walk_track(2, 2, t0=10.0, x0=10.0)
+        groups = stitch_tracks([a, b, c], max_gap_s=3.0, max_distance=3.0)
+        assert len(groups) == 1
+        assert len(groups[0]) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stitch_tracks([], max_gap_s=0.0)
+
+
+class TestTrackingMetrics:
+    def test_empty(self):
+        world = World(WorldConfig(num_people=3))
+        metrics = tracking_metrics([], world)
+        assert metrics.num_tracks == 0
+        assert metrics.person_coverage == 0.0
+
+    def test_pure_single_person_group(self):
+        world = World(WorldConfig(num_people=2))
+        track = Track(track_id=0, camera_id=0)
+        for t in range(5):
+            track.points.append(TrackPoint(t=float(t), xy=np.zeros(2), true_person=1))
+        metrics = tracking_metrics([[track]], world)
+        assert metrics.purity == 1.0
+        assert metrics.person_coverage == 0.5
+        assert metrics.identity_switches == 0
+
+    def test_identity_switch_counted(self):
+        world = World(WorldConfig(num_people=2))
+        a = Track(track_id=0, camera_id=0)
+        a.points.append(TrackPoint(t=0.0, xy=np.zeros(2), true_person=0))
+        b = Track(track_id=1, camera_id=1)
+        b.points.append(TrackPoint(t=1.0, xy=np.zeros(2), true_person=1))
+        metrics = tracking_metrics([[a, b]], world)
+        assert metrics.identity_switches == 1
+
+    def test_end_to_end_on_simulated_campus(self):
+        """Tracking over real pipeline output reaches decent purity."""
+        world = World(WorldConfig(num_people=8, num_occluders=4, seed=4))
+        cameras = ring_of_cameras(6, world)
+        pipeline = CollaborativePipeline(world, cameras, SSDDetector(seed=0))
+        frames = pipeline.run_collaborative(50)
+        tracker = Tracker(gate=4.0)
+        all_tracks = []
+        for cam in cameras:
+            all_tracks.extend(tracker.build_tracks(frames, cam.camera_id))
+        long_tracks = [t for t in all_tracks if t.length >= 3]
+        groups = stitch_tracks(long_tracks, max_gap_s=3.0, max_distance=6.0)
+        metrics = tracking_metrics(groups, world)
+        assert metrics.num_tracks > 0
+        assert metrics.purity > 0.75
+        assert metrics.person_coverage > 0.6

@@ -1,0 +1,152 @@
+"""Tests for the world simulation and camera geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collaborative import (
+    Camera,
+    CameraPose,
+    Occluder,
+    World,
+    WorldConfig,
+    ring_of_cameras,
+)
+
+
+class TestOccluder:
+    def test_blocks_segment_through_center(self):
+        occ = Occluder(x=5.0, y=0.0, radius=1.0)
+        assert occ.blocks(np.array([0.0, 0.0]), np.array([10.0, 0.0]))
+
+    def test_does_not_block_distant_segment(self):
+        occ = Occluder(x=5.0, y=10.0, radius=1.0)
+        assert not occ.blocks(np.array([0.0, 0.0]), np.array([10.0, 0.0]))
+
+    def test_degenerate_segment(self):
+        occ = Occluder(x=0.0, y=0.0, radius=1.0)
+        assert occ.blocks(np.array([0.1, 0.1]), np.array([0.1, 0.1]))
+        assert not occ.blocks(np.array([5.0, 5.0]), np.array([5.0, 5.0]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Occluder(0, 0, radius=0)
+
+
+class TestWorld:
+    def test_positions_shape_and_bounds(self):
+        world = World(WorldConfig(num_people=7, seed=1))
+        pos = world.positions_at(12.3)
+        assert pos.shape == (7, 2)
+        # Waypoints are inside the world; linear interpolation stays inside
+        # the convex hull, hence inside the rectangle.
+        assert (pos >= 0).all()
+        assert (pos[:, 0] <= world.config.width).all()
+        assert (pos[:, 1] <= world.config.height).all()
+
+    def test_deterministic(self):
+        a = World(WorldConfig(seed=4)).positions_at(5.0)
+        b = World(WorldConfig(seed=4)).positions_at(5.0)
+        np.testing.assert_allclose(a, b)
+
+    def test_people_actually_move(self):
+        world = World(WorldConfig(num_people=3, seed=0))
+        assert not np.allclose(world.positions_at(0.0), world.positions_at(10.0))
+
+    def test_trajectory_continuity(self):
+        """Positions change by at most speed * dt between close instants."""
+        world = World(WorldConfig(num_people=5, seed=2))
+        for person in world.people:
+            a = person.position_at(7.0)
+            b = person.position_at(7.1)
+            assert np.linalg.norm(b - a) <= person.speed * 0.1 + 1e-9
+
+    def test_empty_world(self):
+        world = World(WorldConfig(num_people=0, num_occluders=0))
+        assert world.positions_at(1.0).shape == (0, 2)
+        assert world.line_of_sight(np.zeros(2), np.ones(2))
+
+    def test_line_of_sight_blocked_by_occluder(self):
+        world = World(WorldConfig(num_occluders=0))
+        world.occluders = [Occluder(x=50.0, y=50.0, radius=3.0)]
+        assert not world.line_of_sight(np.array([0.0, 50.0]), np.array([100.0, 50.0]))
+        assert world.line_of_sight(np.array([0.0, 0.0]), np.array([100.0, 0.0]))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WorldConfig(width=-1)
+        with pytest.raises(ValueError):
+            WorldConfig(num_people=-1)
+
+
+class TestCamera:
+    def make(self, x=0.0, y=0.0, orientation=0.0, fov=90.0, rng=50.0):
+        return Camera(0, CameraPose(x=x, y=y, orientation=orientation,
+                                    fov_degrees=fov, max_range=rng))
+
+    def test_in_fov_geometry(self):
+        cam = self.make()
+        assert cam.in_fov(np.array([10.0, 0.0]))
+        assert cam.in_fov(np.array([10.0, 9.0]))      # within the 45-deg half
+        assert not cam.in_fov(np.array([10.0, 11.0]))  # just past it
+        assert not cam.in_fov(np.array([-10.0, 0.0]))  # behind
+        assert not cam.in_fov(np.array([60.0, 0.0]))   # out of range
+
+    def test_bearing_distance(self):
+        cam = self.make()
+        bearing, distance = cam.bearing_distance(np.array([3.0, 3.0]))
+        assert distance == pytest.approx(np.hypot(3, 3))
+        assert bearing == pytest.approx(np.pi / 4)
+
+    def test_to_world_roundtrip(self):
+        cam = self.make(x=4.0, y=-2.0, orientation=1.1)
+        point = np.array([10.0, 5.0])
+        bearing, distance = cam.bearing_distance(point)
+        np.testing.assert_allclose(cam.to_world(bearing, distance), point, atol=1e-9)
+
+    def test_can_see_respects_occlusion(self):
+        world = World(WorldConfig(num_occluders=0))
+        world.occluders = [Occluder(x=10.0, y=0.0, radius=2.0)]
+        cam = self.make()
+        target = np.array([20.0, 0.0])
+        assert cam.in_fov(target)
+        assert not cam.can_see(target, world)
+
+    def test_pose_validation(self):
+        with pytest.raises(ValueError):
+            CameraPose(0, 0, 0, fov_degrees=0)
+        with pytest.raises(ValueError):
+            CameraPose(0, 0, 0, max_range=-1)
+
+    @given(st.floats(-3, 3), st.floats(0.5, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_property_roundtrip_any_pose(self, bearing_frac, distance):
+        cam = self.make(x=1.0, y=2.0, orientation=0.7, fov=120)
+        bearing = bearing_frac * cam.pose.half_fov / 3
+        world_xy = cam.to_world(bearing, distance)
+        b2, d2 = cam.bearing_distance(world_xy)
+        assert b2 == pytest.approx(bearing, abs=1e-9)
+        assert d2 == pytest.approx(distance, rel=1e-9)
+
+
+class TestRingOfCameras:
+    def test_count_and_facing_center(self):
+        world = World(WorldConfig(seed=0))
+        cams = ring_of_cameras(8, world)
+        assert len(cams) == 8
+        center = np.array([50.0, 50.0])
+        for cam in cams:
+            assert cam.in_fov(center)
+
+    def test_neighbours_overlap_far_pairs_dont(self):
+        world = World(WorldConfig(seed=0, num_occluders=0))
+        cams = ring_of_cameras(8, world, fov_degrees=70)
+        near = cams[0].fov_overlap(cams[1], world, samples=600)
+        # Cameras on opposite sides still share the center region but
+        # adjacent cameras overlap at least as much.
+        assert near > 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ring_of_cameras(0, World())

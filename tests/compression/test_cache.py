@@ -1,0 +1,166 @@
+"""Tests for the frequent-class detection and model-caching service."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    CachedInferenceService,
+    DeviceProfile,
+    FrequencyTracker,
+    ReducedClassModel,
+)
+from repro.compression.pruning import shrink_staged_resnet
+from repro.datasets import SyntheticImageConfig, SyntheticImageGenerator, make_image_dataset
+from repro.nn import StagedResNet, StagedResNetConfig
+from repro.nn.training import train_staged_model
+
+
+class TestDeviceProfile:
+    def test_width_fraction_scales_with_budget(self):
+        small = DeviceProfile(max_parameters=1_000)
+        large = DeviceProfile(max_parameters=10_000_000)
+        assert small.width_fraction_for(100_000) < large.width_fraction_for(100_000)
+        assert large.width_fraction_for(100_000) == 1.0
+
+    def test_download_time(self):
+        profile = DeviceProfile(bandwidth_kbps=1000.0)
+        # 1000 params * 32 bits = 32_000 bits over 1 Mbit/s = 32 ms.
+        assert profile.download_time_ms(1000) == pytest.approx(32.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceProfile(max_parameters=0)
+
+
+class TestFrequencyTracker:
+    def test_not_detectable_until_window_full(self):
+        tracker = FrequencyTracker(window=10, coverage_target=0.5)
+        for _ in range(9):
+            tracker.observe(0)
+        assert tracker.frequent_classes() is None
+        tracker.observe(0)
+        assert tracker.frequent_classes() == [0]
+
+    def test_smallest_covering_set(self):
+        tracker = FrequencyTracker(window=10, coverage_target=0.8, max_classes=3)
+        for label in [0] * 5 + [1] * 3 + [2] * 1 + [3] * 1:
+            tracker.observe(label)
+        assert tracker.frequent_classes() == [0, 1]
+
+    def test_too_diverse_returns_none(self):
+        tracker = FrequencyTracker(window=12, coverage_target=0.9, max_classes=2)
+        for label in [0, 1, 2, 3] * 3:
+            tracker.observe(label)
+        assert tracker.frequent_classes() is None
+
+    def test_sliding_window_forgets(self):
+        tracker = FrequencyTracker(window=4, coverage_target=0.9, max_classes=1)
+        for label in [0, 0, 0, 0, 1, 1, 1, 1]:
+            tracker.observe(label)
+        assert tracker.frequent_classes() == [1]
+
+    def test_reset(self):
+        tracker = FrequencyTracker(window=2)
+        tracker.observe(0)
+        tracker.observe(0)
+        tracker.reset()
+        assert not tracker.full
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrequencyTracker(window=0)
+        with pytest.raises(ValueError):
+            FrequencyTracker(coverage_target=1.5)
+        with pytest.raises(ValueError):
+            FrequencyTracker(max_classes=0)
+
+
+TINY = StagedResNetConfig(
+    num_classes=4, image_size=8, stage_channels=(4, 8), blocks_per_stage=1, seed=0
+)
+
+
+@pytest.fixture(scope="module")
+def served():
+    cfg = SyntheticImageConfig(num_classes=4, image_size=8, seed=3)
+    train_set = make_image_dataset(400, cfg, seed=0)
+    model = StagedResNet(TINY)
+    train_staged_model(model, train_set, epochs=8, lr=1e-2)
+    return model, train_set, cfg
+
+
+class TestReducedClassModel:
+    def test_miss_on_other_class_or_low_confidence(self, served):
+        model, train_set, cfg = served
+        reduced, class_map = shrink_staged_resnet(
+            model, train_set, width_fraction=0.75, class_subset=[0, 1], epochs=4
+        )
+        cached = ReducedClassModel(reduced, class_map, confidence_threshold=0.99)
+        # Threshold ~1.0 forces essentially everything to miss.
+        gen = SyntheticImageGenerator(cfg)
+        images, _, _ = gen.sample(10, np.random.default_rng(0))
+        results = [cached.predict(img) for img in images]
+        assert all(pred is None for pred, _ in results)
+
+    def test_validation(self, served):
+        model, train_set, _ = served
+        reduced, class_map = shrink_staged_resnet(
+            model, train_set, width_fraction=0.5, class_subset=[0], epochs=1
+        )
+        with pytest.raises(ValueError):
+            ReducedClassModel(reduced, class_map, confidence_threshold=2.0)
+
+
+class TestCachedInferenceService:
+    def make_service(self, served, **kwargs):
+        model, train_set, _ = served
+        defaults = dict(
+            device=DeviceProfile(max_parameters=10_000_000),
+            tracker=FrequencyTracker(window=30, coverage_target=0.7, max_classes=3),
+            confidence_threshold=0.4,
+            reduce_epochs=4,
+        )
+        defaults.update(kwargs)
+        return CachedInferenceService(model, train_set, **defaults)
+
+    def test_installs_cache_after_skewed_traffic(self, served):
+        model, train_set, cfg = served
+        service = self.make_service(served)
+        gen = SyntheticImageGenerator(cfg)
+        rng = np.random.default_rng(1)
+        # Heavily skewed: only classes 0 and 1, easy images.
+        n = 60
+        images, labels, _ = gen.sample(n, rng, difficulty=np.full(n, 0.1))
+        mask = (labels == 0) | (labels == 1)
+        for img in images[mask]:
+            service.query(img)
+        assert service.stats.installs >= 1
+        assert service.cached is not None
+        assert set(service.cached.cached_classes) <= {0, 1, 2, 3}
+
+    def test_cache_hits_served_locally(self, served):
+        model, train_set, cfg = served
+        service = self.make_service(served)
+        gen = SyntheticImageGenerator(cfg)
+        rng = np.random.default_rng(2)
+        n = 120
+        images, labels, _ = gen.sample(n, rng, difficulty=np.full(n, 0.1))
+        mask = (labels == 0) | (labels == 1)
+        sources = [service.query(img)["source"] for img in images[mask]]
+        assert "cache" in sources
+
+    def test_latency_model_orders_sources(self, served):
+        service = self.make_service(served)
+        # Before any cache install, "cache" latency uses ratio 1.0.
+        server = service.estimated_latency_ms("server")
+        miss = service.estimated_latency_ms("server-after-miss")
+        assert miss > server  # miss pays device try + round trip
+
+    def test_stats_accounting(self, served):
+        model, train_set, cfg = served
+        service = self.make_service(served)
+        gen = SyntheticImageGenerator(cfg)
+        images, _, _ = gen.sample(5, np.random.default_rng(3))
+        for img in images:
+            service.query(img)
+        assert service.stats.total_queries == 5

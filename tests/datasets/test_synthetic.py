@@ -1,0 +1,122 @@
+"""Tests for the synthetic datasets (CIFAR stand-in and sensor time series)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    SensorTimeSeriesConfig,
+    SyntheticImageConfig,
+    SyntheticImageGenerator,
+    make_image_dataset,
+    make_sensor_dataset,
+)
+
+
+class TestSyntheticImages:
+    def test_shapes_and_labels(self):
+        cfg = SyntheticImageConfig(num_classes=5, image_size=12)
+        gen = SyntheticImageGenerator(cfg)
+        images, labels, diff = gen.sample(20, np.random.default_rng(0))
+        assert images.shape == (20, 3, 12, 12)
+        assert labels.shape == (20,)
+        assert set(labels) <= set(range(5))
+        assert (diff >= 0).all() and (diff <= 1).all()
+
+    def test_deterministic_given_seed(self):
+        cfg = SyntheticImageConfig()
+        a = SyntheticImageGenerator(cfg).sample(5, np.random.default_rng(42))
+        b = SyntheticImageGenerator(cfg).sample(5, np.random.default_rng(42))
+        np.testing.assert_allclose(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_different_template_seeds_differ(self):
+        a = SyntheticImageGenerator(SyntheticImageConfig(seed=1))
+        b = SyntheticImageGenerator(SyntheticImageConfig(seed=2))
+        assert not np.allclose(a.templates, b.templates)
+
+    def test_explicit_difficulty_respected(self):
+        gen = SyntheticImageGenerator()
+        d = np.linspace(0, 1, 8)
+        _, _, diff = gen.sample(8, np.random.default_rng(0), difficulty=d)
+        np.testing.assert_allclose(diff, d)
+
+    def test_difficulty_validation(self):
+        gen = SyntheticImageGenerator()
+        with pytest.raises(ValueError):
+            gen.sample(3, np.random.default_rng(0), difficulty=np.array([0.5]))
+        with pytest.raises(ValueError):
+            gen.sample(2, np.random.default_rng(0), difficulty=np.array([0.5, 1.5]))
+
+    def test_easy_images_closer_to_template(self):
+        """Low difficulty must mean higher SNR — the property the staged
+        confidence experiments rely on."""
+        gen = SyntheticImageGenerator(SyntheticImageConfig(max_shift=0, occlusion_prob=0))
+        rng = np.random.default_rng(1)
+        n = 200
+        easy, labels_e, _ = gen.sample(n, rng, difficulty=np.zeros(n))
+        hard, labels_h, _ = gen.sample(n, rng, difficulty=np.ones(n))
+
+        def mean_correlation(images, labels):
+            cors = []
+            for img, lab in zip(images, labels):
+                t = gen.templates[lab].reshape(-1)
+                v = img.reshape(-1)
+                cors.append(np.corrcoef(t, v)[0, 1])
+            return np.mean(cors)
+
+        assert mean_correlation(easy, labels_e) > mean_correlation(hard, labels_h) + 0.2
+
+    def test_make_image_dataset_with_difficulty(self):
+        ds, diff = make_image_dataset(10, seed=0, with_difficulty=True)
+        assert len(ds) == 10
+        assert diff.shape == (10,)
+
+    def test_min_classes_validated(self):
+        with pytest.raises(ValueError):
+            SyntheticImageGenerator(SyntheticImageConfig(num_classes=1))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_labels_in_range(self, seed):
+        gen = SyntheticImageGenerator(SyntheticImageConfig(num_classes=3, image_size=8))
+        _, labels, _ = gen.sample(4, np.random.default_rng(seed))
+        assert ((labels >= 0) & (labels < 3)).all()
+
+
+class TestSensorTimeSeries:
+    def test_shapes(self):
+        cfg = SensorTimeSeriesConfig(num_sensors=2, channels_per_sensor=3,
+                                     num_intervals=4, samples_per_interval=8)
+        ds = make_sensor_dataset(12, cfg, seed=0)
+        assert ds.inputs.shape == (12, 6, 4, 8)
+        assert set(ds.labels) <= set(range(cfg.num_classes))
+
+    def test_deterministic(self):
+        a = make_sensor_dataset(5, seed=3)
+        b = make_sensor_dataset(5, seed=3)
+        np.testing.assert_allclose(a.inputs, b.inputs)
+
+    def test_classes_statistically_distinct(self):
+        """Per-class mean spectra should differ — classes are learnable."""
+        cfg = SensorTimeSeriesConfig(num_classes=3, noise_scale=0.1)
+        ds = make_sensor_dataset(150, cfg, seed=0)
+        spectra = {}
+        for c in range(3):
+            samples = ds.inputs[ds.labels == c]
+            flat = samples.reshape(len(samples), samples.shape[1], -1)
+            spectra[c] = np.abs(np.fft.rfft(flat, axis=-1)).mean(axis=0)
+        d01 = np.abs(spectra[0] - spectra[1]).mean()
+        d02 = np.abs(spectra[0] - spectra[2]).mean()
+        assert d01 > 0.05 and d02 > 0.05
+
+    def test_noise_is_temporally_correlated(self):
+        """AR(1) noise: lag-1 autocorrelation of a pure-noise config is high."""
+        cfg = SensorTimeSeriesConfig(noise_scale=1.0, noise_correlation=0.9)
+        ds = make_sensor_dataset(20, cfg, seed=1)
+        x = ds.inputs.reshape(20, ds.inputs.shape[1], -1)
+        # Use residual after removing the (smooth) signal via differencing proxy:
+        series = x[:, 0, :]
+        lag1 = np.mean([np.corrcoef(s[:-1], s[1:])[0, 1] for s in series])
+        assert lag1 > 0.5

@@ -1,0 +1,43 @@
+"""Shared miniature benchmark artifacts for experiment-driver tests."""
+
+import pytest
+
+from repro.calibration.entropy_reg import EntropyCalibrator
+from repro.datasets import SyntheticImageConfig, make_image_dataset
+from repro.experiments.common import BenchmarkArtifacts
+from repro.nn import StagedResNet, StagedResNetConfig
+from repro.nn.training import (
+    collect_stage_outputs,
+    evaluate_stage_accuracy,
+    train_staged_model,
+)
+
+
+@pytest.fixture(scope="package")
+def mini_artifacts():
+    """A miniature BenchmarkArtifacts built in ~20 seconds."""
+    data_cfg = SyntheticImageConfig(num_classes=5, image_size=8, seed=9)
+    model_cfg = StagedResNetConfig(
+        num_classes=5, image_size=8, stage_channels=(4, 8, 12),
+        blocks_per_stage=1, seed=0,
+    )
+    train_set = make_image_dataset(600, data_cfg, seed=0)
+    cal_set = make_image_dataset(300, data_cfg, seed=1)
+    test_set = make_image_dataset(300, data_cfg, seed=2)
+    model = StagedResNet(model_cfg)
+    train_staged_model(model, train_set, epochs=8, lr=1e-2, seed=0)
+    uncal_state = model.state_dict()
+    uncal_test = collect_stage_outputs(model, test_set)
+    results = EntropyCalibrator(epochs=2, seed=0).calibrate(model, cal_set)
+    return BenchmarkArtifacts(
+        model=model,
+        train_set=train_set,
+        cal_set=cal_set,
+        test_set=test_set,
+        train_outputs=collect_stage_outputs(model, train_set),
+        test_outputs=collect_stage_outputs(model, test_set),
+        uncalibrated_test_outputs=uncal_test,
+        uncalibrated_state=uncal_state,
+        stage_accuracies=evaluate_stage_accuracy(model, test_set),
+        calibration_alphas=tuple(r.alpha for r in results),
+    )

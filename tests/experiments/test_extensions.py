@@ -1,0 +1,52 @@
+"""Tests for the extension experiment drivers (service classes, partitioning)."""
+
+import pytest
+
+from repro.experiments.extensions import run_partitioning, run_service_classes
+
+
+class TestServiceClassesDriver:
+    @pytest.fixture(scope="class")
+    def result(self, mini_artifacts):
+        return run_service_classes(mini_artifacts, num_tasks=60, seed=0)
+
+    def test_both_policies_reported(self, result):
+        assert set(result) == {"class-aware", "class-blind"}
+        for row in result.values():
+            assert 0.0 <= row["accuracy"] <= 1.0
+            assert 0.0 <= row["interactive_service_rate"] <= 1.0
+            assert row["revenue"] >= 0.0
+
+    def test_class_aware_serves_interactive_at_least_as_well(self, result):
+        assert (
+            result["class-aware"]["interactive_service_rate"]
+            >= result["class-blind"]["interactive_service_rate"]
+        )
+
+    def test_bills_cover_both_classes(self, result):
+        bills = result["class-aware"]["bills"]
+        assert set(bills) <= {"interactive", "batch"}
+        for bill in bills.values():
+            assert bill["revenue"] >= 0
+
+
+class TestPartitioningDriver:
+    @pytest.fixture(scope="class")
+    def rows(self, mini_artifacts):
+        return run_partitioning(
+            mini_artifacts, bandwidths_kbps=(20.0, 200.0, 20000.0)
+        )
+
+    def test_one_row_per_bandwidth(self, rows):
+        assert [r["bandwidth_kbps"] for r in rows] == [20.0, 200.0, 20000.0]
+
+    def test_latency_monotone_in_bandwidth(self, rows):
+        latencies = [r["expected_latency_ms"] for r in rows]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_cut_moves_toward_server_with_bandwidth(self, rows):
+        assert rows[0]["cut"] >= rows[-1]["cut"]
+
+    def test_offload_probability_valid(self, rows):
+        for r in rows:
+            assert 0.0 <= r["offload_probability"] <= 1.0

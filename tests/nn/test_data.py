@@ -1,0 +1,73 @@
+"""Tests for Dataset/DataLoader."""
+
+import numpy as np
+import pytest
+
+from repro.nn import DataLoader, Dataset
+
+
+def toy(n=10):
+    return Dataset(np.arange(n * 2.0).reshape(n, 2), np.arange(n))
+
+
+class TestDataset:
+    def test_len_and_getitem(self):
+        ds = toy()
+        assert len(ds) == 10
+        x, y = ds[3]
+        np.testing.assert_allclose(x, [6.0, 7.0])
+        assert y == 3
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.zeros(4))
+
+    def test_subset(self):
+        sub = toy().subset([0, 2])
+        assert len(sub) == 2
+        np.testing.assert_allclose(sub.labels, [0, 2])
+
+    def test_split_partitions_everything(self):
+        first, second = toy(100).split(0.7, rng=np.random.default_rng(0))
+        assert len(first) == 70
+        assert len(second) == 30
+        all_labels = sorted(list(first.labels) + list(second.labels))
+        assert all_labels == list(range(100))
+
+    def test_split_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            toy().split(1.0)
+
+
+class TestDataLoader:
+    def test_batches_cover_dataset(self):
+        loader = DataLoader(toy(10), batch_size=3, shuffle=False)
+        seen = []
+        for x, y in loader:
+            assert len(x) == len(y)
+            seen.extend(y.tolist())
+        assert sorted(seen) == list(range(10))
+        assert len(loader) == 4
+
+    def test_drop_last(self):
+        loader = DataLoader(toy(10), batch_size=3, shuffle=False, drop_last=True)
+        batches = list(loader)
+        assert len(batches) == 3
+        assert all(len(b[0]) == 3 for b in batches)
+        assert len(loader) == 3
+
+    def test_shuffle_changes_order_but_not_content(self):
+        loader = DataLoader(toy(50), batch_size=50, shuffle=True, seed=1)
+        (x1, y1), = list(loader)
+        (x2, y2), = list(loader)
+        assert not np.array_equal(y1, y2)  # reshuffled between epochs
+        assert sorted(y1.tolist()) == sorted(y2.tolist())
+
+    def test_shuffle_false_preserves_order(self):
+        loader = DataLoader(toy(5), batch_size=5, shuffle=False)
+        (_, y), = list(loader)
+        np.testing.assert_array_equal(y, np.arange(5))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(toy(), batch_size=0)

@@ -1,0 +1,219 @@
+"""Tests for conv/pool/softmax ops, including gradient checks vs central differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, numeric_gradient
+from repro.nn import functional as F
+from repro.nn.functional import col2im, conv_output_size, im2col
+
+
+class TestIm2Col:
+    def test_output_size(self):
+        assert conv_output_size(16, 3, 1, 1) == 16
+        assert conv_output_size(16, 3, 2, 1) == 8
+        assert conv_output_size(5, 3, 1, 0) == 3
+
+    def test_im2col_shapes(self):
+        x = np.arange(2 * 3 * 5 * 5, dtype=float).reshape(2, 3, 5, 5)
+        cols, (oh, ow) = im2col(x, 3, 1, 1)
+        assert (oh, ow) == (5, 5)
+        assert cols.shape == (2, 27, 25)
+
+    def test_im2col_center_patch_matches_input(self):
+        x = np.arange(1 * 1 * 4 * 4, dtype=float).reshape(1, 1, 4, 4)
+        cols, _ = im2col(x, 3, 1, 1)
+        # The center element of each 3x3 patch is the original pixel.
+        np.testing.assert_allclose(cols[0, 4, :], x.reshape(-1))
+
+    def test_col2im_is_adjoint_of_im2col(self):
+        """<im2col(x), y> == <x, col2im(y)> — adjointness property."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols, _ = im2col(x, 3, 2, 1)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, 3, 2, 1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestConv2D:
+    def test_matches_direct_convolution(self):
+        """Compare against an explicit nested-loop convolution."""
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 2, 5, 5))
+        w = rng.normal(size=(3, 2, 3, 3))
+        b = rng.normal(size=(3,))
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride=1, padding=1).data
+
+        padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        expected = np.zeros((2, 3, 5, 5))
+        for n in range(2):
+            for o in range(3):
+                for i in range(5):
+                    for j in range(5):
+                        patch = padded[n, :, i : i + 3, j : j + 3]
+                        expected[n, o, i, j] = (patch * w[o]).sum() + b[o]
+        np.testing.assert_allclose(out, expected, atol=1e-10)
+
+    def test_strided_output_shape(self):
+        x = Tensor(np.zeros((1, 3, 8, 8)))
+        w = Tensor(np.zeros((4, 3, 3, 3)))
+        out = F.conv2d(x, w, stride=2, padding=1)
+        assert out.shape == (1, 4, 4, 4)
+
+    def test_grad_input(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 2, 4, 4))
+        w = rng.normal(size=(2, 2, 3, 3))
+        t = Tensor(x.copy(), requires_grad=True)
+        F.conv2d(t, Tensor(w), stride=1, padding=1).sum().backward()
+        numeric = numeric_gradient(
+            lambda arr: float(F.conv2d(Tensor(arr), Tensor(w), stride=1, padding=1).sum().data),
+            x.copy(),
+        )
+        np.testing.assert_allclose(t.grad, numeric, atol=1e-5)
+
+    def test_grad_weight_and_bias(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 2, 4, 4))
+        w = rng.normal(size=(3, 2, 3, 3))
+        b = rng.normal(size=(3,))
+        wt = Tensor(w.copy(), requires_grad=True)
+        bt = Tensor(b.copy(), requires_grad=True)
+        F.conv2d(Tensor(x), wt, bt, stride=2, padding=1).sum().backward()
+        numeric_w = numeric_gradient(
+            lambda arr: float(F.conv2d(Tensor(x), Tensor(arr), Tensor(b), stride=2, padding=1).sum().data),
+            w.copy(),
+        )
+        numeric_b = numeric_gradient(
+            lambda arr: float(F.conv2d(Tensor(x), Tensor(w), Tensor(arr), stride=2, padding=1).sum().data),
+            b.copy(),
+        )
+        np.testing.assert_allclose(wt.grad, numeric_w, atol=1e-5)
+        np.testing.assert_allclose(bt.grad, numeric_b, atol=1e-5)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 3, 4, 4))), Tensor(np.zeros((2, 4, 3, 3))))
+
+    def test_rectangular_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 2, 4, 4))), Tensor(np.zeros((2, 2, 3, 2))))
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2).data
+        np.testing.assert_allclose(out, [[[[5, 7], [13, 15]]]])
+
+    def test_max_pool_grad_goes_to_argmax(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        t = Tensor(x, requires_grad=True)
+        F.max_pool2d(t, 2).sum().backward()
+        expected = np.zeros((1, 1, 4, 4))
+        expected[0, 0, 1, 1] = expected[0, 0, 1, 3] = 1
+        expected[0, 0, 3, 1] = expected[0, 0, 3, 3] = 1
+        np.testing.assert_allclose(t.grad, expected)
+
+    def test_avg_pool_values_and_grad(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        t = Tensor(x, requires_grad=True)
+        out = F.avg_pool2d(t, 2)
+        np.testing.assert_allclose(out.data, [[[[2.5, 4.5], [10.5, 12.5]]]])
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, np.full((1, 1, 4, 4), 0.25))
+
+    def test_global_avg_pool(self):
+        x = np.ones((2, 3, 4, 4))
+        out = F.global_avg_pool2d(Tensor(x))
+        assert out.shape == (2, 3)
+        np.testing.assert_allclose(out.data, np.ones((2, 3)))
+
+
+class TestSoftmaxFamily:
+    def test_softmax_rows_sum_to_one(self):
+        rng = np.random.default_rng(4)
+        out = F.softmax(Tensor(rng.normal(size=(5, 7)))).data
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(5))
+        assert (out > 0).all()
+
+    def test_softmax_stability_large_logits(self):
+        out = F.softmax(Tensor(np.array([[1000.0, 1000.0]]))).data
+        np.testing.assert_allclose(out, [[0.5, 0.5]])
+
+    def test_log_softmax_consistent_with_softmax(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(4, 6))
+        np.testing.assert_allclose(
+            F.log_softmax(Tensor(x)).data, np.log(F.softmax(Tensor(x)).data), atol=1e-12
+        )
+
+    def test_softmax_grad(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(3, 4))
+        t = Tensor(x.copy(), requires_grad=True)
+        (F.softmax(t) ** 2).sum().backward()
+        numeric = numeric_gradient(
+            lambda arr: float((F.softmax(Tensor(arr)) ** 2).sum().data), x.copy()
+        )
+        np.testing.assert_allclose(t.grad, numeric, atol=1e-6)
+
+    def test_log_softmax_grad(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(3, 4))
+        w = rng.normal(size=(3, 4))
+        t = Tensor(x.copy(), requires_grad=True)
+        (F.log_softmax(t) * w).sum().backward()
+        numeric = numeric_gradient(
+            lambda arr: float((F.log_softmax(Tensor(arr)) * w).sum().data), x.copy()
+        )
+        np.testing.assert_allclose(t.grad, numeric, atol=1e-6)
+
+    @given(st.integers(2, 6), st.integers(2, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_property_softmax_invariant_to_shift(self, n, c):
+        rng = np.random.default_rng(n * 100 + c)
+        x = rng.normal(size=(n, c))
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 5.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+
+class TestDropoutOneHot:
+    def test_dropout_eval_identity(self):
+        x = Tensor(np.ones((4, 4)))
+        out = F.dropout(x, 0.5, np.random.default_rng(0), training=False)
+        assert out is x
+
+    def test_dropout_preserves_expectation(self):
+        rng = np.random.default_rng(8)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.3, rng, training=True)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, np.random.default_rng(0))
+
+    def test_dropout_grad_uses_same_mask(self):
+        rng = np.random.default_rng(9)
+        t = Tensor(np.ones(1000), requires_grad=True)
+        out = F.dropout(t, 0.5, rng)
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, out.data)
+
+    def test_one_hot(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_one_hot_out_of_range(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([3]), 3)
+
+    def test_one_hot_requires_1d(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.zeros((2, 2), dtype=int), 3)

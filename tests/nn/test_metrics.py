@@ -1,0 +1,111 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.metrics import (
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    macro_f1,
+    per_class_f1,
+    top_k_accuracy,
+)
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy(np.array([0, 1, 2]), np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([0, 1]), np.array([0]))
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestTopK:
+    def test_top1_equals_accuracy(self):
+        probs = np.array([[0.7, 0.2, 0.1], [0.1, 0.1, 0.8]])
+        labels = np.array([0, 1])
+        assert top_k_accuracy(probs, labels, k=1) == accuracy(
+            probs.argmax(1), labels
+        )
+
+    def test_top2(self):
+        probs = np.array([[0.5, 0.4, 0.1], [0.1, 0.2, 0.7]])
+        labels = np.array([1, 0])
+        assert top_k_accuracy(probs, labels, k=2) == pytest.approx(0.5)
+
+    def test_top_all_is_one(self):
+        probs = np.random.default_rng(0).random((10, 4))
+        labels = np.random.default_rng(1).integers(0, 4, 10)
+        assert top_k_accuracy(probs, labels, k=4) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros((2, 3)), np.zeros(2, dtype=int), k=0)
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros((2, 3)), np.zeros(3, dtype=int), k=1)
+
+
+class TestConfusionMatrix:
+    def test_rows_truth_columns_pred(self):
+        matrix = confusion_matrix(np.array([1, 1, 0]), np.array([0, 1, 0]), 2)
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 1]])
+
+    def test_trace_counts_correct(self):
+        preds = np.array([0, 1, 2, 2])
+        labels = np.array([0, 1, 2, 1])
+        matrix = confusion_matrix(preds, labels)
+        assert np.trace(matrix) == 3
+        assert matrix.sum() == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([3]), np.array([0]), num_classes=2)
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([-1]), np.array([0]))
+
+
+class TestF1:
+    def test_perfect_predictions(self):
+        labels = np.array([0, 1, 2, 0])
+        np.testing.assert_allclose(per_class_f1(labels, labels), [1.0, 1.0, 1.0])
+        assert macro_f1(labels, labels) == 1.0
+
+    def test_absent_class_scores_zero(self):
+        preds = np.array([0, 0])
+        labels = np.array([0, 0])
+        f1 = per_class_f1(preds, labels, num_classes=3)
+        assert f1[0] == 1.0
+        assert f1[1] == 0.0 and f1[2] == 0.0
+        # macro_f1 ignores classes with no true support.
+        assert macro_f1(preds, labels, num_classes=3) == 1.0
+
+    def test_known_value(self):
+        preds = np.array([0, 0, 1, 1])
+        labels = np.array([0, 1, 1, 1])
+        f1 = per_class_f1(preds, labels, num_classes=2)
+        # class 0: tp=1 fp=1 fn=0 -> 2/3; class 1: tp=2 fp=0 fn=1 -> 4/5
+        np.testing.assert_allclose(f1, [2 / 3, 0.8])
+
+    def test_report(self):
+        report = classification_report(np.array([0, 1]), np.array([0, 1]))
+        assert report["accuracy"] == 1.0
+        assert report["macro_f1"] == 1.0
+        assert report["num_samples"] == 2.0
+
+    @given(st.integers(0, 5000), st.integers(2, 5), st.integers(5, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_property_f1_bounded_and_consistent(self, seed, classes, n):
+        rng = np.random.default_rng(seed)
+        preds = rng.integers(0, classes, n)
+        labels = rng.integers(0, classes, n)
+        f1 = per_class_f1(preds, labels, classes)
+        assert ((f1 >= 0) & (f1 <= 1)).all()
+        matrix = confusion_matrix(preds, labels, classes)
+        assert matrix.sum() == n
+        assert accuracy(preds, labels) == pytest.approx(np.trace(matrix) / n)

@@ -1,0 +1,201 @@
+"""Tests for optimizers, schedulers and loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    Dense,
+    StepLR,
+    Tensor,
+    clip_grad_norm,
+    cross_entropy,
+    entropy,
+    entropy_regularized_ce,
+    gaussian_nll,
+    gaussian_nll_mse,
+    mae,
+    mse,
+)
+from repro.nn import functional as F
+from repro.nn.layers import Parameter
+
+
+def quadratic_param(value=5.0):
+    return Parameter(np.array([value]))
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            loss = (p * p).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert abs(p.data[0]) < 1e-3
+
+    def test_momentum_accelerates(self):
+        losses = {}
+        for momentum in (0.0, 0.9):
+            p = quadratic_param()
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                loss = (p * p).sum()
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+            losses[momentum] = abs(p.data[0])
+        assert losses[0.9] < losses[0.0]
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert p.data[0] == pytest.approx(0.95)
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()
+        assert p.data[0] == 1.0
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.0)
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        opt = Adam([p], lr=0.3)
+        for _ in range(200):
+            loss = (p * p).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert abs(p.data[0]) < 1e-3
+
+    def test_trains_dense_regression(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(128, 3))
+        true_w = np.array([[1.0], [-2.0], [0.5]])
+        y = x @ true_w
+        layer = Dense(3, 1, rng=rng)
+        opt = Adam(layer.parameters(), lr=0.05)
+        for _ in range(200):
+            loss = mse(layer(Tensor(x)), y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(layer.weight.data, true_w, atol=0.05)
+
+
+class TestStepLR:
+    def test_decays_at_interval(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == 1.0
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(SGD([quadratic_param()], lr=1.0), step_size=0)
+
+
+class TestClipGradNorm:
+    def test_clips_when_above(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_noop_when_below(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 0.1)
+        clip_grad_norm([p], max_norm=10.0)
+        np.testing.assert_allclose(p.grad, np.full(4, 0.1))
+
+
+class TestLosses:
+    def test_cross_entropy_matches_manual(self):
+        logits = Tensor(np.array([[2.0, 0.0], [0.0, 2.0]]))
+        labels = np.array([0, 1])
+        expected = -np.log(np.exp(2) / (np.exp(2) + 1))
+        assert cross_entropy(logits, labels).item() == pytest.approx(expected)
+
+    def test_cross_entropy_perfect_prediction_near_zero(self):
+        logits = Tensor(np.array([[100.0, 0.0]]))
+        assert cross_entropy(logits, np.array([0])).item() < 1e-6
+
+    def test_entropy_uniform_is_log_k(self):
+        probs = Tensor(np.full((3, 4), 0.25))
+        assert entropy(probs).item() == pytest.approx(np.log(4))
+
+    def test_entropy_onehot_is_zero(self):
+        probs = Tensor(np.array([[1.0, 0.0, 0.0]]))
+        assert entropy(probs).item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_entropy_regularized_ce_signs(self):
+        """alpha > 0 adds the entropy, alpha < 0 subtracts it (Eq. 4)."""
+        logits = Tensor(np.array([[1.0, 0.0, -1.0]]))
+        labels = np.array([0])
+        base = cross_entropy(logits, labels).item()
+        probs = F.softmax(logits)
+        h = entropy(probs).item()
+        assert entropy_regularized_ce(logits, labels, 0.5).item() == pytest.approx(base + 0.5 * h)
+        assert entropy_regularized_ce(logits, labels, -0.5).item() == pytest.approx(base - 0.5 * h)
+
+    def test_negative_alpha_gradient_raises_entropy(self):
+        """Fine-tuning with alpha<0 should push the output toward uniform."""
+        logits = Parameter(np.array([[3.0, 0.0, 0.0]]))
+        labels = np.array([0])
+        opt = SGD([logits], lr=0.5)
+        h_before = entropy(F.softmax(logits)).item()
+        for _ in range(20):
+            loss = entropy_regularized_ce(logits, labels, alpha=-2.0)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        h_after = entropy(F.softmax(logits)).item()
+        assert h_after > h_before
+
+    def test_mse_and_mae(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        target = np.array([0.0, 4.0])
+        assert mse(pred, target).item() == pytest.approx((1 + 4) / 2)
+        assert mae(pred, target).item() == pytest.approx((1 + 2) / 2)
+
+    def test_gaussian_nll_minimized_at_true_variance(self):
+        """NLL as a function of log_var is minimized at the residual variance."""
+        rng = np.random.default_rng(0)
+        target = rng.normal(0, 2.0, size=1000)
+        mean = Tensor(np.zeros(1000))
+        nlls = {
+            lv: gaussian_nll(mean, Tensor(np.full(1000, lv)), target).item()
+            for lv in [np.log(1.0), np.log(4.0), np.log(16.0)]
+        }
+        assert min(nlls, key=nlls.get) == pytest.approx(np.log(4.0))
+
+    def test_gaussian_nll_mse_weight_bounds(self):
+        with pytest.raises(ValueError):
+            gaussian_nll_mse(Tensor(np.zeros(2)), Tensor(np.zeros(2)), np.zeros(2), weight=1.5)
+
+    def test_gaussian_nll_mse_interpolates(self):
+        mean = Tensor(np.array([1.0]))
+        log_var = Tensor(np.array([0.0]))
+        target = np.array([0.0])
+        full_mse = gaussian_nll_mse(mean, log_var, target, weight=1.0).item()
+        assert full_mse == pytest.approx(mse(mean, target).item())
+        full_nll = gaussian_nll_mse(mean, log_var, target, weight=0.0).item()
+        assert full_nll == pytest.approx(gaussian_nll(mean, log_var, target).item())

@@ -1,0 +1,123 @@
+"""Tests for the staged ResNet (paper Fig. 3) and its training loop."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_image_dataset, SyntheticImageConfig
+from repro.nn import (
+    StagedResNet,
+    StagedResNetConfig,
+    Tensor,
+    collect_stage_outputs,
+    evaluate_stage_accuracy,
+    staged_loss,
+    train_staged_model,
+)
+from repro.nn.resnet import ResidualBlock
+
+
+TINY = StagedResNetConfig(
+    num_classes=4, image_size=8, stage_channels=(4, 8), blocks_per_stage=1, seed=0
+)
+
+
+class TestResidualBlock:
+    def test_identity_shortcut_shape(self):
+        block = ResidualBlock(4, 4)
+        assert block.shortcut is None
+        out = block(Tensor(np.random.default_rng(0).normal(size=(2, 4, 6, 6))))
+        assert out.shape == (2, 4, 6, 6)
+
+    def test_projection_shortcut_on_channel_change(self):
+        block = ResidualBlock(4, 8, stride=2)
+        assert block.shortcut is not None
+        out = block(Tensor(np.zeros((2, 4, 6, 6))))
+        assert out.shape == (2, 8, 3, 3)
+
+    def test_gradient_flows_through_shortcut(self):
+        block = ResidualBlock(2, 2)
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 2, 4, 4)), requires_grad=True)
+        block(x).sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad).sum() > 0
+
+
+class TestStagedResNetTopology:
+    def test_default_config_matches_paper(self):
+        """Paper Fig. 3: 3 stages, each 6 conv layers (3 residual blocks)."""
+        model = StagedResNet()
+        assert model.num_stages == 3
+        specs = model.stage_layer_specs()
+        assert all(len(stage) == 6 for stage in specs)
+
+    def test_forward_returns_one_logits_per_stage(self):
+        model = StagedResNet(TINY)
+        logits = model(Tensor(np.zeros((3, 3, 8, 8))))
+        assert len(logits) == 2
+        assert all(l.shape == (3, 4) for l in logits)
+
+    def test_run_stage_incremental_matches_forward(self):
+        model = StagedResNet(TINY).eval()
+        x = np.random.default_rng(2).normal(size=(2, 3, 8, 8))
+        full = model(Tensor(x))
+        features = model.run_stem(Tensor(x))
+        for s in range(model.num_stages):
+            features, logits = model.run_stage(features, s)
+            np.testing.assert_allclose(logits.data, full[s].data, atol=1e-10)
+
+    def test_run_stage_out_of_range(self):
+        model = StagedResNet(TINY)
+        with pytest.raises(IndexError):
+            model.run_stage(Tensor(np.zeros((1, 4, 8, 8))), 5)
+
+    def test_predict_proba_rows_sum_to_one(self):
+        model = StagedResNet(TINY).eval()
+        probs = model.predict_proba(np.random.default_rng(3).normal(size=(4, 3, 8, 8)))
+        for p in probs:
+            np.testing.assert_allclose(p.sum(axis=-1), np.ones(4))
+
+    def test_stage_confidences_shape_and_range(self):
+        model = StagedResNet(TINY).eval()
+        confs = model.stage_confidences(np.zeros((5, 3, 8, 8)))
+        assert confs.shape == (2, 5)
+        assert (confs >= 1 / 4 - 1e-9).all() and (confs <= 1.0).all()
+
+
+class TestTraining:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        cfg = SyntheticImageConfig(num_classes=4, image_size=8, seed=3)
+        train_set = make_image_dataset(600, cfg, seed=0)
+        test_set = make_image_dataset(200, cfg, seed=1)
+        model = StagedResNet(TINY)
+        report = train_staged_model(model, train_set, epochs=10, batch_size=32, lr=1e-2)
+        return model, train_set, test_set, report
+
+    def test_loss_decreases(self, trained):
+        _, _, _, report = trained
+        assert report.epoch_losses[-1] < report.epoch_losses[0]
+
+    def test_beats_chance_on_heldout(self, trained):
+        model, _, test_set, _ = trained
+        accs = evaluate_stage_accuracy(model, test_set)
+        assert accs[-1] > 1.5 / 4  # well above 25% chance
+
+    def test_collect_stage_outputs_shapes(self, trained):
+        model, _, test_set, _ = trained
+        out = collect_stage_outputs(model, test_set)
+        n = len(test_set)
+        assert out["confidences"].shape == (2, n)
+        assert out["predictions"].shape == (2, n)
+        assert out["correct"].shape == (2, n)
+        assert out["labels"].shape == (n,)
+        assert out["correct"].dtype == bool
+
+    def test_staged_loss_weights_validated(self):
+        model = StagedResNet(TINY)
+        logits = model(Tensor(np.zeros((2, 3, 8, 8))))
+        with pytest.raises(ValueError):
+            staged_loss(logits, np.zeros(2, dtype=int), stage_weights=[1.0])
+
+    def test_model_in_eval_mode_after_training(self, trained):
+        model, *_ = trained
+        assert not model.training

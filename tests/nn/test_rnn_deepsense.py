@@ -1,0 +1,222 @@
+"""Tests for the GRU layers and the DeepSense architecture."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SensorTimeSeriesConfig, make_sensor_dataset
+from repro.nn import (
+    Adam,
+    DeepSense,
+    DeepSenseConfig,
+    GRU,
+    GRUCell,
+    Tensor,
+    cross_entropy,
+    gaussian_nll_mse,
+    numeric_gradient,
+)
+
+
+class TestGRUCell:
+    def test_output_shape_and_range(self):
+        cell = GRUCell(4, 6)
+        out = cell(Tensor(np.random.default_rng(0).normal(size=(3, 4))))
+        assert out.shape == (3, 6)
+        assert (np.abs(out.data) <= 1.0).all()  # convex mix of h0=0 and tanh
+
+    def test_zero_initial_hidden_default(self):
+        cell = GRUCell(2, 3)
+        x = Tensor(np.zeros((2, 2)))
+        explicit = cell(x, Tensor(np.zeros((2, 3))))
+        implicit = cell(x)
+        np.testing.assert_allclose(explicit.data, implicit.data)
+
+    def test_input_validation(self):
+        cell = GRUCell(4, 6)
+        with pytest.raises(ValueError):
+            cell(Tensor(np.zeros((3, 5))))
+
+    def test_gradients_flow_to_all_parameters(self):
+        cell = GRUCell(3, 4)
+        out = cell(Tensor(np.random.default_rng(1).normal(size=(2, 3))))
+        out.sum().backward()
+        for name, p in cell.named_parameters():
+            assert p.grad is not None, name
+        # Hidden-to-hidden weights need a nonzero hidden state to matter.
+        h = Tensor(np.random.default_rng(2).normal(size=(2, 4)))
+        cell.zero_grad()
+        cell(Tensor(np.random.default_rng(3).normal(size=(2, 3))), h).sum().backward()
+        assert np.abs(cell.w_hidden.grad).sum() > 0
+
+    def test_gradcheck_small(self):
+        rng = np.random.default_rng(4)
+        cell = GRUCell(2, 2, rng=rng)
+        x = rng.normal(size=(1, 2))
+
+        def scalar(arr):
+            return float(cell(Tensor(arr)).sum().data)
+
+        t = Tensor(x.copy(), requires_grad=True)
+        cell(t).sum().backward()
+        numeric = numeric_gradient(scalar, x.copy())
+        np.testing.assert_allclose(t.grad, numeric, atol=1e-6)
+
+
+class TestGRU:
+    def test_sequence_shapes(self):
+        gru = GRU(4, 5)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 7, 4)))
+        outputs, state = gru(x)
+        assert outputs.shape == (2, 7, 5)
+        assert state.shape == (2, 5)
+        np.testing.assert_allclose(outputs.data[:, -1, :], state.data)
+
+    def test_last_output(self):
+        gru = GRU(3, 4)
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 5, 3)))
+        np.testing.assert_allclose(gru.last_output(x).data, gru(x)[1].data)
+
+    def test_validation(self):
+        gru = GRU(3, 4)
+        with pytest.raises(ValueError):
+            gru(Tensor(np.zeros((2, 5, 7))))
+
+    def test_memorizes_first_token(self):
+        """A GRU can learn to output the first element of a sequence —
+        a pure memory task that breaks non-recurrent models."""
+        rng = np.random.default_rng(5)
+        n, t = 256, 6
+        x = np.zeros((n, t, 2))
+        first = rng.integers(0, 2, size=n)
+        x[np.arange(n), 0, first] = 1.0
+        x[:, 1:, :] = rng.normal(0, 0.1, size=(n, t - 1, 2))
+        from repro.nn import Dense
+
+        gru = GRU(2, 8, rng=rng)
+        head = Dense(8, 2, rng=rng)
+        params = gru.parameters() + head.parameters()
+        opt = Adam(params, lr=0.02)
+        for _ in range(80):
+            logits = head(gru.last_output(Tensor(x)))
+            loss = cross_entropy(logits, first)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        preds = head(gru.last_output(Tensor(x))).data.argmax(-1)
+        assert (preds == first).mean() > 0.95
+
+
+class TestDeepSenseConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeepSenseConfig(task="magic")
+        with pytest.raises(ValueError):
+            DeepSenseConfig(task="classification", predict_variance=True)
+        with pytest.raises(ValueError):
+            DeepSenseConfig(num_sensors=0)
+
+
+class TestDeepSenseClassification:
+    CFG = SensorTimeSeriesConfig(
+        num_classes=3, num_sensors=2, channels_per_sensor=3,
+        num_intervals=4, samples_per_interval=8, noise_scale=0.4, seed=13,
+    )
+
+    def make_model(self):
+        return DeepSense(DeepSenseConfig(
+            num_sensors=2, channels_per_sensor=3, num_intervals=4,
+            samples_per_interval=8, conv_channels=6, hidden_size=16,
+            output_dim=3, seed=0,
+        ))
+
+    def test_forward_shape(self):
+        model = self.make_model()
+        ds = make_sensor_dataset(6, self.CFG, seed=0)
+        out = model(Tensor(ds.inputs))
+        assert out.shape == (6, 3)
+
+    def test_input_validation(self):
+        model = self.make_model()
+        with pytest.raises(ValueError):
+            model(Tensor(np.zeros((2, 6, 5, 8))))
+
+    def test_learns_activity_classes(self):
+        model = self.make_model()
+        train = make_sensor_dataset(300, self.CFG, seed=0)
+        test = make_sensor_dataset(120, self.CFG, seed=1)
+        opt = Adam(model.parameters(), lr=3e-3)
+        rng = np.random.default_rng(0)
+        for _ in range(60):
+            idx = rng.choice(len(train), size=32, replace=False)
+            loss = cross_entropy(model(Tensor(train.inputs[idx])), train.labels[idx])
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        model.eval()
+        acc = float((model.predict(test.inputs) == test.labels).mean())
+        assert acc > 0.6  # chance is 1/3
+
+    def test_predict_proba_normalized(self):
+        model = self.make_model().eval()
+        ds = make_sensor_dataset(5, self.CFG, seed=2)
+        probs = model.predict_proba(ds.inputs)
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones(5))
+
+    def test_uncertainty_api_guarded(self):
+        model = self.make_model()
+        with pytest.raises(RuntimeError):
+            model.predict_with_uncertainty(np.zeros((1, 6, 4, 8)))
+
+
+class TestDeepSenseEstimation:
+    def make_model(self, predict_variance=True):
+        return DeepSense(DeepSenseConfig(
+            num_sensors=1, channels_per_sensor=2, num_intervals=4,
+            samples_per_interval=8, conv_channels=4, hidden_size=12,
+            output_dim=1, task="estimation", predict_variance=predict_variance,
+            seed=0,
+        ))
+
+    @staticmethod
+    def make_regression_data(n, seed=0, noise=0.05):
+        """Target = mean amplitude of the signal; input = noisy sinusoids."""
+        rng = np.random.default_rng(seed)
+        amp = rng.uniform(0.5, 2.0, size=n)
+        t = np.linspace(0, 4 * np.pi, 32)
+        signal = amp[:, None] * np.sin(t)[None, :]
+        x = np.stack([signal, np.gradient(signal, axis=1)], axis=1)
+        x = x + rng.normal(0, noise, size=x.shape)
+        return x.reshape(n, 2, 4, 8), amp[:, None]
+
+    def test_estimation_head_shapes(self):
+        model = self.make_model()
+        x, _ = self.make_regression_data(4)
+        out = model(Tensor(x))
+        assert out.shape == (4, 2)  # mean + log-variance
+        mean, log_var = model.split_mean_logvar(out)
+        assert mean.shape == (4, 1) and log_var.shape == (4, 1)
+
+    def test_learns_amplitude_regression_with_uncertainty(self):
+        model = self.make_model()
+        x, y = self.make_regression_data(400, seed=1)
+        opt = Adam(model.parameters(), lr=3e-3)
+        rng = np.random.default_rng(0)
+        for _ in range(150):
+            idx = rng.choice(len(x), size=48, replace=False)
+            out = model(Tensor(x[idx]))
+            mean, log_var = model.split_mean_logvar(out)
+            loss = gaussian_nll_mse(mean, log_var, y[idx], weight=0.5)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        model.eval()
+        xt, yt = self.make_regression_data(100, seed=2)
+        pred, std = model.predict_with_uncertainty(xt)
+        mae = float(np.abs(pred - yt).mean())
+        assert mae < 0.25
+        assert (std > 0).all()
+
+    def test_split_requires_variance_head(self):
+        model = self.make_model(predict_variance=False)
+        with pytest.raises(RuntimeError):
+            model.split_mean_logvar(Tensor(np.zeros((2, 1))))

@@ -1,0 +1,67 @@
+"""Tests for the model .npz wire format used by the caching service."""
+
+import numpy as np
+import pytest
+
+from repro.nn import StagedResNet, StagedResNetConfig
+from repro.nn.serialization import (
+    load_staged_model,
+    model_size_bytes,
+    save_staged_model,
+)
+
+TINY = StagedResNetConfig(
+    num_classes=4, image_size=8, stage_channels=(4, 8), blocks_per_stage=1, seed=3
+)
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_outputs(self, tmp_path):
+        model = StagedResNet(TINY)
+        # Run a forward pass in train mode so batch-norm buffers move away
+        # from their initial values — the roundtrip must preserve them.
+        from repro.nn import Tensor
+
+        rng = np.random.default_rng(0)
+        model(Tensor(rng.normal(size=(8, 3, 8, 8))))
+        model.eval()
+        x = rng.normal(size=(4, 3, 8, 8))
+        expected = model.predict_proba(x)
+
+        path = save_staged_model(model, tmp_path / "m.npz")
+        loaded = load_staged_model(path)
+        actual = loaded.predict_proba(x)
+        for e, a in zip(expected, actual):
+            np.testing.assert_allclose(a, e, atol=1e-12)
+
+    def test_suffix_added(self, tmp_path):
+        model = StagedResNet(TINY)
+        path = save_staged_model(model, tmp_path / "weights")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_config_preserved(self, tmp_path):
+        model = StagedResNet(TINY)
+        loaded = load_staged_model(save_staged_model(model, tmp_path / "m.npz"))
+        assert loaded.config == TINY
+
+    def test_size_reporting(self, tmp_path):
+        small = StagedResNet(TINY)
+        big = StagedResNet(StagedResNetConfig(
+            num_classes=4, image_size=8, stage_channels=(16, 32),
+            blocks_per_stage=2, seed=0,
+        ))
+        p_small = save_staged_model(small, tmp_path / "small.npz")
+        p_big = save_staged_model(big, tmp_path / "big.npz")
+        assert model_size_bytes(p_small) < model_size_bytes(p_big)
+
+    def test_rejects_foreign_archives(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_staged_model(path)
+
+    def test_loaded_model_in_eval_mode(self, tmp_path):
+        model = StagedResNet(TINY)
+        loaded = load_staged_model(save_staged_model(model, tmp_path / "m.npz"))
+        assert not loaded.training

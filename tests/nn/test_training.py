@@ -1,0 +1,77 @@
+"""Tests for the staged training loop knobs not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SyntheticImageConfig, make_image_dataset
+from repro.nn import (
+    SGD,
+    StagedResNet,
+    StagedResNetConfig,
+    Tensor,
+    staged_loss,
+    train_staged_model,
+)
+
+TINY = StagedResNetConfig(
+    num_classes=3, image_size=8, stage_channels=(4, 6), blocks_per_stage=1, seed=0
+)
+DATA = SyntheticImageConfig(num_classes=3, image_size=8, seed=2)
+
+
+class TestStagedLoss:
+    def test_stage_weights_scale_terms(self):
+        model = StagedResNet(TINY)
+        logits = model(Tensor(np.zeros((4, 3, 8, 8))))
+        labels = np.zeros(4, dtype=int)
+        base = staged_loss(logits, labels, stage_weights=[1.0, 1.0]).item()
+        doubled = staged_loss(logits, labels, stage_weights=[2.0, 2.0]).item()
+        assert doubled == pytest.approx(2 * base)
+
+    def test_alpha_changes_loss(self):
+        model = StagedResNet(TINY)
+        logits = model(Tensor(np.random.default_rng(0).normal(size=(4, 3, 8, 8))))
+        labels = np.zeros(4, dtype=int)
+        plain = staged_loss(logits, labels).item()
+        regularized = staged_loss(logits, labels, alpha=0.5).item()
+        assert regularized > plain  # entropy is positive
+
+
+class TestTrainLoopKnobs:
+    def test_on_epoch_end_callback_invoked(self):
+        train_set = make_image_dataset(90, DATA, seed=0)
+        model = StagedResNet(TINY)
+        seen = []
+        train_staged_model(
+            model, train_set, epochs=2, batch_size=32,
+            on_epoch_end=lambda epoch, loss: seen.append((epoch, loss)),
+        )
+        assert [e for e, _ in seen] == [0, 1]
+        assert all(np.isfinite(l) for _, l in seen)
+
+    def test_custom_optimizer_used(self):
+        train_set = make_image_dataset(90, DATA, seed=0)
+        model = StagedResNet(TINY)
+        optimizer = SGD(model.parameters(), lr=1e-2, momentum=0.9)
+        report = train_staged_model(
+            model, train_set, epochs=2, optimizer=optimizer
+        )
+        assert len(report.epoch_losses) == 2
+
+    def test_grad_clip_disabled(self):
+        train_set = make_image_dataset(60, DATA, seed=1)
+        model = StagedResNet(TINY)
+        report = train_staged_model(model, train_set, epochs=1, grad_clip=0.0)
+        assert np.isfinite(report.final_loss)
+
+    def test_report_final_loss_nan_when_untrained(self):
+        from repro.nn import TrainReport
+
+        assert np.isnan(TrainReport().final_loss)
+
+    def test_accuracy_tracked_per_epoch(self):
+        train_set = make_image_dataset(120, DATA, seed=3)
+        model = StagedResNet(TINY)
+        report = train_staged_model(model, train_set, epochs=3, lr=1e-2)
+        assert len(report.epoch_accuracies) == 3
+        assert all(0.0 <= a <= 1.0 for a in report.epoch_accuracies)

@@ -1,0 +1,128 @@
+"""Tests for arrival processes and open-loop simulation."""
+
+import numpy as np
+import pytest
+
+from repro.scheduler import (
+    FIFOPolicy,
+    PoolSimulator,
+    RoundRobinPolicy,
+    SimulationConfig,
+    TaskOracle,
+)
+from repro.scheduler.arrivals import (
+    bursty_arrivals,
+    constant_arrivals,
+    poisson_arrivals,
+)
+
+
+def oracle():
+    return TaskOracle(confidences=(0.4, 0.6, 0.9), predictions=(0, 0, 0),
+                      correct=(False, True, True))
+
+
+class TestArrivalGenerators:
+    def test_constant_spacing(self):
+        times = constant_arrivals(4, interval=2.0, start=1.0)
+        assert times == [1.0, 3.0, 5.0, 7.0]
+
+    def test_poisson_rate_approximately_honored(self):
+        times = poisson_arrivals(5000, rate=4.0, seed=0)
+        duration = times[-1] - times[0]
+        assert 5000 / duration == pytest.approx(4.0, rel=0.1)
+
+    def test_poisson_monotone_and_deterministic(self):
+        a = poisson_arrivals(50, rate=2.0, seed=7)
+        b = poisson_arrivals(50, rate=2.0, seed=7)
+        assert a == b
+        assert all(x < y for x, y in zip(a, a[1:]))
+
+    def test_bursty_has_higher_variance_than_poisson(self):
+        """Burstiness shows up as a larger coefficient of variation of
+        inter-arrival gaps than the exponential's CV of 1."""
+        bursty = np.diff(bursty_arrivals(4000, quiet_rate=0.5, burst_rate=20.0,
+                                         seed=0))
+        cv = bursty.std() / bursty.mean()
+        assert cv > 1.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            constant_arrivals(3, interval=0.0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(3, rate=0.0)
+        with pytest.raises(ValueError):
+            bursty_arrivals(3, quiet_rate=0.0, burst_rate=1.0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(-1, rate=1.0)
+
+
+class TestOpenLoopSimulation:
+    def test_spaced_arrivals_all_complete(self):
+        """Arrivals far apart: each task has the pool to itself."""
+        oracles = [oracle() for _ in range(4)]
+        arrivals = constant_arrivals(4, interval=10.0)
+        cfg = SimulationConfig(num_workers=1, concurrency=4,
+                               stage_times=(1, 1, 1), latency_constraint=5.0)
+        result = PoolSimulator(oracles, FIFOPolicy(), cfg,
+                               arrival_times=arrivals).run()
+        assert result.num_fully_completed == 4
+        for record, expected in zip(result.records, arrivals):
+            assert record.arrival_time == expected
+            assert record.finish_time == pytest.approx(expected + 3.0)
+
+    def test_nothing_runs_before_arrival(self):
+        oracles = [oracle()]
+        cfg = SimulationConfig(num_workers=2, concurrency=2,
+                               stage_times=(1, 1, 1), latency_constraint=10.0)
+        result = PoolSimulator(oracles, FIFOPolicy(), cfg,
+                               arrival_times=[7.0]).run()
+        record = result.records[0]
+        assert record.finish_time == pytest.approx(10.0)  # 7 + 3 stages
+
+    def test_queueing_delay_counts_against_deadline(self):
+        """A burst bigger than the pool: late tasks expire while queueing."""
+        oracles = [oracle() for _ in range(6)]
+        arrivals = [0.0] * 6  # simultaneous burst
+        cfg = SimulationConfig(num_workers=1, concurrency=2,
+                               stage_times=(1, 1, 1), latency_constraint=4.0)
+        result = PoolSimulator(oracles, FIFOPolicy(), cfg,
+                               arrival_times=arrivals).run()
+        assert result.num_fully_completed < 6
+        assert result.num_evicted >= 1
+        # Every task is accounted for.
+        assert result.num_tasks == 6
+
+    def test_closed_loop_unchanged_without_arrivals(self):
+        oracles = [oracle() for _ in range(3)]
+        cfg = SimulationConfig(num_workers=1, concurrency=1,
+                               stage_times=(1, 1, 1), latency_constraint=50.0)
+        result = PoolSimulator(oracles, FIFOPolicy(), cfg).run()
+        # Closed loop: the second task's clock starts at its admission.
+        assert result.records[1].arrival_time == pytest.approx(3.0)
+        assert result.num_fully_completed == 3
+
+    def test_overload_degrades_gracefully_under_bursts(self):
+        """Bursty overload evicts more than smooth traffic of equal volume."""
+        oracles = [oracle() for _ in range(40)]
+        cfg = SimulationConfig(num_workers=1, concurrency=8,
+                               stage_times=(1, 1, 1), latency_constraint=6.0)
+        smooth = PoolSimulator(
+            oracles, RoundRobinPolicy(), cfg,
+            arrival_times=poisson_arrivals(40, rate=0.30, seed=1),
+        ).run()
+        bursty = PoolSimulator(
+            oracles, RoundRobinPolicy(), cfg,
+            arrival_times=bursty_arrivals(40, quiet_rate=0.06, burst_rate=3.0,
+                                          seed=1),
+        ).run()
+        assert bursty.num_evicted >= smooth.num_evicted
+
+    def test_validation(self):
+        oracles = [oracle(), oracle()]
+        with pytest.raises(ValueError):
+            PoolSimulator(oracles, FIFOPolicy(), SimulationConfig(),
+                          arrival_times=[0.0])
+        with pytest.raises(ValueError):
+            PoolSimulator(oracles, FIFOPolicy(), SimulationConfig(),
+                          arrival_times=[0.0, -1.0])

@@ -1,0 +1,104 @@
+"""Failure-injection tests: the scheduler must absorb lost stage results."""
+
+import numpy as np
+import pytest
+
+from repro.scheduler import (
+    FIFOPolicy,
+    GPConfidencePredictor,
+    PoolSimulator,
+    RoundRobinPolicy,
+    RTDeepIoTPolicy,
+    SimulationConfig,
+    TaskOracle,
+)
+
+
+def make_oracles(n, seed=0):
+    rng = np.random.default_rng(seed)
+    oracles = []
+    for _ in range(n):
+        c1 = rng.uniform(0.2, 0.9)
+        c2 = c1 + 0.5 * (0.97 - c1)
+        c3 = c2 + 0.5 * (0.97 - c2)
+        confs = np.clip([c1, c2, c3], 0, 1)
+        oracles.append(
+            TaskOracle(
+                confidences=tuple(float(c) for c in confs),
+                predictions=(0, 0, 0),
+                correct=tuple(bool(rng.random() < c) for c in confs),
+            )
+        )
+    return oracles
+
+
+def fitted_predictor(oracles):
+    mat = np.array([o.confidences for o in oracles]).T
+    return GPConfidencePredictor(num_classes=10, seed=0).fit(mat)
+
+
+class TestFailureInjection:
+    def test_zero_failure_prob_is_baseline(self):
+        oracles = make_oracles(10)
+        cfg = SimulationConfig(num_workers=2, concurrency=5, stage_times=(1, 1, 1),
+                               latency_constraint=50.0, stage_failure_prob=0.0)
+        result = PoolSimulator(oracles, FIFOPolicy(), cfg).run()
+        assert result.num_fully_completed == 10
+
+    def test_failures_slow_but_do_not_wedge(self):
+        """With 30% stage failures and a loose deadline everything still
+        finishes — the scheduler just retries; makespan grows."""
+        oracles = make_oracles(10)
+        base_cfg = SimulationConfig(num_workers=2, concurrency=5,
+                                    stage_times=(1, 1, 1), latency_constraint=500.0)
+        flaky_cfg = SimulationConfig(num_workers=2, concurrency=5,
+                                     stage_times=(1, 1, 1), latency_constraint=500.0,
+                                     stage_failure_prob=0.3, failure_seed=1)
+        clean = PoolSimulator(oracles, RoundRobinPolicy(), base_cfg).run()
+        flaky = PoolSimulator(oracles, RoundRobinPolicy(), flaky_cfg).run()
+        assert flaky.num_fully_completed == 10
+        assert flaky.makespan > clean.makespan
+        assert flaky.busy_time > clean.busy_time
+
+    def test_retry_reexecutes_same_stage(self):
+        """A failed stage leaves the task's next_stage unchanged, so the
+        follow-up execution targets the same stage index."""
+        oracles = make_oracles(1)
+        cfg = SimulationConfig(num_workers=1, concurrency=1,
+                               stage_times=(1, 1, 1), latency_constraint=100.0,
+                               stage_failure_prob=0.5, failure_seed=3)
+        result = PoolSimulator(oracles, FIFOPolicy(), cfg).run()
+        record = result.records[0]
+        assert record.complete
+        assert [o.stage for o in record.outcomes] == [0, 1, 2]
+
+    def test_failures_under_deadline_hurt_accuracy(self):
+        oracles = make_oracles(60, seed=2)
+        predictor = fitted_predictor(oracles)
+        kwargs = dict(num_workers=2, concurrency=10, stage_times=(1, 1, 1),
+                      latency_constraint=8.0)
+        clean = PoolSimulator(
+            oracles, RTDeepIoTPolicy(predictor, k=1), SimulationConfig(**kwargs)
+        ).run()
+        flaky = PoolSimulator(
+            oracles, RTDeepIoTPolicy(predictor, k=1),
+            SimulationConfig(stage_failure_prob=0.4, failure_seed=5, **kwargs),
+        ).run()
+        assert flaky.stages_executed.sum() < clean.stages_executed.sum()
+        assert flaky.accuracy <= clean.accuracy
+
+    def test_failure_prob_validated(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(stage_failure_prob=1.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(stage_failure_prob=-0.1)
+
+    def test_deterministic_given_failure_seed(self):
+        oracles = make_oracles(20, seed=4)
+        cfg = SimulationConfig(num_workers=2, concurrency=6, stage_times=(1, 1, 1),
+                               latency_constraint=10.0, stage_failure_prob=0.25,
+                               failure_seed=9)
+        a = PoolSimulator(oracles, RoundRobinPolicy(), cfg).run()
+        b = PoolSimulator(oracles, RoundRobinPolicy(), cfg).run()
+        np.testing.assert_array_equal(a.stages_executed, b.stages_executed)
+        assert a.accuracy == b.accuracy

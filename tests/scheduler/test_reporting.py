@@ -1,0 +1,73 @@
+"""Tests for episode reporting / ASCII rendering."""
+
+import numpy as np
+import pytest
+
+from repro.scheduler import (
+    FIFOPolicy,
+    PoolSimulator,
+    SimulationConfig,
+    TaskOracle,
+)
+from repro.scheduler.reporting import (
+    confidence_curve_plot,
+    episode_summary,
+    render_episode,
+    stage_histogram,
+    task_table,
+)
+
+
+@pytest.fixture(scope="module")
+def episode():
+    oracles = [
+        TaskOracle(confidences=(0.3, 0.6, 0.9), predictions=(0, 0, 0),
+                   correct=(False, True, True))
+        for _ in range(6)
+    ]
+    config = SimulationConfig(num_workers=2, concurrency=6,
+                              stage_times=(1, 1, 1), latency_constraint=4.0)
+    return PoolSimulator(oracles, FIFOPolicy(), config).run()
+
+
+class TestReporting:
+    def test_summary_mentions_key_metrics(self, episode):
+        text = episode_summary(episode)
+        assert "service accuracy" in text
+        assert "utilization" in text
+        assert f"tasks: {episode.num_tasks}" in text
+
+    def test_task_table_rows(self, episode):
+        text = task_table(episode)
+        for record in episode.records:
+            assert f"\n{record.task_id:>5} " in "\n" + text
+
+    def test_task_table_truncates(self, episode):
+        text = task_table(episode, max_rows=2)
+        assert "more tasks" in text
+
+    def test_histogram_counts_sum(self, episode):
+        text = stage_histogram(episode)
+        counts = [int(line.split("|")[1].split()[0])
+                  for line in text.splitlines()[1:]]
+        assert sum(counts) == episode.num_tasks
+
+    def test_render_episode_combines_sections(self, episode):
+        text = render_episode(episode)
+        assert "service accuracy" in text
+        assert "stages | tasks" in text
+
+    def test_confidence_curve_plot(self):
+        curves = np.array([[0.0, 0.5, 1.0], [0.2, 0.4, 0.6]])
+        text = confidence_curve_plot(curves, width=20, labels=["a", "b"])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "a" in lines[1] and "b" in lines[2]
+        # Stage markers 1..3 appear.
+        assert "1" in lines[1] and "3" in lines[1]
+
+    def test_confidence_plot_validation(self):
+        with pytest.raises(ValueError):
+            confidence_curve_plot(np.array([0.5, 0.6]))
+        with pytest.raises(ValueError):
+            confidence_curve_plot(np.array([[1.5]]))

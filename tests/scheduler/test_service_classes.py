@@ -1,0 +1,183 @@
+"""Tests for service classes, class-aware scheduling and pricing (Sec. V)."""
+
+import numpy as np
+import pytest
+
+from repro.scheduler import (
+    BATCH,
+    INTERACTIVE,
+    ClassAwareRTDeepIoTPolicy,
+    FIFOPolicy,
+    GPConfidencePredictor,
+    PoolSimulator,
+    PricingModel,
+    RTDeepIoTPolicy,
+    ServiceClass,
+    SimulationConfig,
+    TaskOracle,
+    TaskView,
+    assign_classes,
+)
+from repro.scheduler.task import StageOutcome, TaskRecord
+
+
+def make_oracles(n, seed=0):
+    rng = np.random.default_rng(seed)
+    oracles = []
+    for _ in range(n):
+        c1 = rng.uniform(0.12, 0.92)
+        c2 = c1 + 0.5 * (0.97 - c1)
+        c3 = c2 + 0.5 * (0.97 - c2)
+        confs = np.clip([c1, c2, c3], 0, 1)
+        oracles.append(
+            TaskOracle(
+                confidences=tuple(float(c) for c in confs),
+                predictions=(0, 0, 0),
+                correct=tuple(bool(rng.random() < c) for c in confs),
+            )
+        )
+    return oracles
+
+
+def fitted_predictor(oracles):
+    mat = np.array([o.confidences for o in oracles]).T
+    return GPConfidencePredictor(num_classes=10, seed=0).fit(mat)
+
+
+class TestServiceClass:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceClass("x", latency_constraint=0.0)
+        with pytest.raises(ValueError):
+            ServiceClass("x", latency_constraint=1.0, weight=0.0)
+        with pytest.raises(ValueError):
+            ServiceClass("x", latency_constraint=1.0, price_per_stage=-1.0)
+
+    def test_builtin_classes(self):
+        assert INTERACTIVE.latency_constraint < BATCH.latency_constraint
+        assert INTERACTIVE.weight > BATCH.weight
+
+
+class TestAssignClasses:
+    def test_mix_fractions(self):
+        classes = assign_classes(1000, [INTERACTIVE, BATCH], [0.3, 0.7], seed=0)
+        frac = sum(1 for c in classes if c is INTERACTIVE) / 1000
+        assert frac == pytest.approx(0.3, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            assign_classes(10, [INTERACTIVE], [0.5])
+        with pytest.raises(ValueError):
+            assign_classes(10, [], [])
+
+
+class TestClassAwarePolicy:
+    def view(self, task_id, deadline, stages_done=0, confs=()):
+        return TaskView(
+            task_id=task_id, arrival_time=0.0, deadline=deadline,
+            num_stages=3, stages_done=stages_done, confidences=tuple(confs),
+        )
+
+    def test_weight_breaks_ties(self):
+        oracles = make_oracles(50)
+        predictor = fitted_predictor(oracles)
+        classes = {0: BATCH, 1: INTERACTIVE}
+        policy = ClassAwareRTDeepIoTPolicy(predictor, classes, k=1, urgency=0.0)
+        # Identical scheduling state; only class weight differs.
+        tasks = [self.view(0, 12.0), self.view(1, 12.0)]
+        assert policy.plan(tasks, 0.0) == [(1, 0)]
+
+    def test_urgency_prefers_tight_deadline(self):
+        oracles = make_oracles(50)
+        predictor = fitted_predictor(oracles)
+        classes = {0: INTERACTIVE, 1: INTERACTIVE}
+        policy = ClassAwareRTDeepIoTPolicy(predictor, classes, k=1, urgency=5.0)
+        relaxed = self.view(0, deadline=100.0)
+        urgent = self.view(1, deadline=1.0)
+        assert policy.plan([relaxed, urgent], now=0.0) == [(1, 0)]
+
+    def test_validation(self):
+        oracles = make_oracles(10)
+        predictor = fitted_predictor(oracles)
+        with pytest.raises(ValueError):
+            ClassAwareRTDeepIoTPolicy(predictor, {}, k=0)
+        with pytest.raises(ValueError):
+            ClassAwareRTDeepIoTPolicy(predictor, {}, urgency=-1.0)
+
+    def test_class_aware_meets_more_interactive_deadlines(self):
+        """Under load, the class-aware policy serves more interactive tasks
+        than the class-blind one (the Sec. V motivation)."""
+        oracles = make_oracles(120, seed=3)
+        predictor = fitted_predictor(oracles)
+        class_list = assign_classes(len(oracles), [INTERACTIVE, BATCH],
+                                    [0.5, 0.5], seed=1)
+        class_map = {i: c for i, c in enumerate(class_list)}
+        constraints = [c.latency_constraint for c in class_list]
+        config = SimulationConfig(num_workers=2, concurrency=14,
+                                  stage_times=(1, 1, 1), latency_constraint=8.0)
+
+        def interactive_served(policy):
+            sim = PoolSimulator(oracles, policy, config,
+                                task_latency_constraints=constraints)
+            result = sim.run()
+            return sum(
+                1 for r in result.records
+                if class_map[r.task_id] is INTERACTIVE and r.stages_done > 0
+            )
+
+        aware = interactive_served(
+            ClassAwareRTDeepIoTPolicy(predictor, class_map, k=1, urgency=2.0)
+        )
+        blind = interactive_served(RTDeepIoTPolicy(predictor, k=1))
+        assert aware >= blind
+
+
+class TestSimulatorPerTaskConstraints:
+    def test_constraints_respected(self):
+        oracles = make_oracles(4)
+        constraints = [1.5, 50.0, 50.0, 50.0]
+        config = SimulationConfig(num_workers=1, concurrency=4,
+                                  stage_times=(1, 1, 1), latency_constraint=99.0)
+        sim = PoolSimulator(oracles, FIFOPolicy(), config,
+                            task_latency_constraints=constraints)
+        result = sim.run()
+        # Task 0 (deadline 1.5 with 1 worker shared) can complete at most 1 stage.
+        assert result.records[0].stages_done <= 1
+        assert result.records[1].stages_done == 3
+
+    def test_validation(self):
+        oracles = make_oracles(2)
+        with pytest.raises(ValueError):
+            PoolSimulator(oracles, FIFOPolicy(), SimulationConfig(),
+                          task_latency_constraints=[1.0])
+        with pytest.raises(ValueError):
+            PoolSimulator(oracles, FIFOPolicy(), SimulationConfig(),
+                          task_latency_constraints=[1.0, -1.0])
+
+
+class TestPricingModel:
+    def record(self, task_id, stages, evicted=False):
+        r = TaskRecord(task_id=task_id, arrival_time=0.0, deadline=10.0, num_stages=3)
+        for s in range(stages):
+            r.outcomes.append(StageOutcome(stage=s, prediction=0, confidence=0.5))
+        r.evicted = evicted
+        return r
+
+    def test_bills_by_class_rate(self):
+        classes = {0: INTERACTIVE, 1: BATCH}
+        pricing = PricingModel(classes)
+        bills = pricing.bill([self.record(0, 2), self.record(1, 3)])
+        assert bills["interactive"].revenue == pytest.approx(2 * 3.0)
+        assert bills["batch"].revenue == pytest.approx(3 * 1.0)
+        assert bills["interactive"].served_tasks == 1
+
+    def test_no_answer_no_charge(self):
+        pricing = PricingModel({0: INTERACTIVE})
+        bills = pricing.bill([self.record(0, 0, evicted=True)])
+        assert bills["interactive"].revenue == 0.0
+        assert bills["interactive"].evicted_unserved == 1
+
+    def test_default_class_applies(self):
+        pricing = PricingModel({}, default_class=BATCH)
+        bills = pricing.bill([self.record(7, 1)])
+        assert "batch" in bills

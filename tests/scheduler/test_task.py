@@ -1,0 +1,72 @@
+"""Tests for task records / views / stage outcomes."""
+
+import pytest
+
+from repro.scheduler import StageOutcome, TaskRecord
+
+
+def make_record(num_stages=3, deadline=10.0):
+    return TaskRecord(task_id=0, arrival_time=0.0, deadline=deadline, num_stages=num_stages)
+
+
+class TestStageOutcome:
+    def test_valid(self):
+        o = StageOutcome(stage=0, prediction=3, confidence=0.7, correct=True)
+        assert o.confidence == 0.7
+
+    def test_confidence_bounds(self):
+        with pytest.raises(ValueError):
+            StageOutcome(stage=0, prediction=0, confidence=1.5)
+        with pytest.raises(ValueError):
+            StageOutcome(stage=0, prediction=0, confidence=-0.1)
+
+    def test_negative_stage(self):
+        with pytest.raises(ValueError):
+            StageOutcome(stage=-1, prediction=0, confidence=0.5)
+
+
+class TestTaskRecord:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskRecord(task_id=0, arrival_time=5.0, deadline=5.0, num_stages=3)
+        with pytest.raises(ValueError):
+            TaskRecord(task_id=0, arrival_time=0.0, deadline=1.0, num_stages=0)
+
+    def test_progression(self):
+        r = make_record()
+        assert r.next_stage == 0
+        assert not r.complete
+        r.outcomes.append(StageOutcome(0, 1, 0.5, True))
+        assert r.next_stage == 1
+        assert r.latest_confidence == 0.5
+        r.outcomes.append(StageOutcome(1, 1, 0.7, True))
+        r.outcomes.append(StageOutcome(2, 1, 0.9, True))
+        assert r.complete
+        assert r.next_stage is None
+
+    def test_final_correct_uses_last_stage(self):
+        r = make_record()
+        r.outcomes.append(StageOutcome(0, 1, 0.5, True))
+        r.outcomes.append(StageOutcome(1, 2, 0.6, False))
+        assert r.final_correct is False
+
+    def test_no_stages_counts_incorrect(self):
+        assert make_record().final_correct is False
+
+    def test_evicted_is_done(self):
+        r = make_record()
+        r.evicted = True
+        assert r.done and not r.complete
+
+    def test_view_snapshot(self):
+        r = make_record()
+        r.outcomes.append(StageOutcome(0, 1, 0.4, True))
+        v = r.view()
+        assert v.stages_done == 1
+        assert v.confidences == (0.4,)
+        assert v.latest_confidence == 0.4
+        assert v.next_stage == 1
+        assert v.remaining_time(2.0) == 8.0
+        # Mutating the record does not change the view.
+        r.outcomes.append(StageOutcome(1, 1, 0.8, True))
+        assert v.stages_done == 1

@@ -1,0 +1,91 @@
+"""Tests for the estimation (regression) service endpoints."""
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    EstimateRequest,
+    EstimatorTrainRequest,
+    EugeneClient,
+    EugeneService,
+)
+
+
+def regression_data(n, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n, 3))
+    y = x @ np.array([1.0, -2.0, 0.5]) + rng.normal(0, 0.1, n)
+    return x, y
+
+
+@pytest.fixture(scope="module")
+def trained_estimator():
+    service = EugeneService(seed=0)
+    client = EugeneClient(service)
+    x, y = regression_data(500)
+    response = client.train_estimator(x, y, steps=500, name="position")
+    return service, client, response
+
+
+class TestTrainEstimator:
+    def test_learns_linear_map(self, trained_estimator):
+        _, _, response = trained_estimator
+        assert response.train_mae < 0.2
+        assert 0.7 <= response.coverage_90 <= 1.0
+
+    def test_registered_as_estimator(self, trained_estimator):
+        service, _, response = trained_estimator
+        entry = service.registry.get(response.model_id)
+        assert entry.kind == "estimator"
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            EstimatorTrainRequest(inputs=np.zeros((2, 3)), targets=np.zeros(3))
+        with pytest.raises(ValueError):
+            EstimatorTrainRequest(inputs=np.zeros((0, 3)), targets=np.zeros(0))
+        with pytest.raises(ValueError):
+            EstimatorTrainRequest(
+                inputs=np.zeros((2, 3)), targets=np.zeros(2), loss_weight=1.5
+            )
+
+
+class TestEstimate:
+    def test_intervals_bracket_truth_mostly(self, trained_estimator):
+        _, client, response = trained_estimator
+        x, y = regression_data(300, seed=1)
+        out = client.estimate(response.model_id, x, confidence_level=0.9)
+        inside = ((y[:, None] >= out.lower) & (y[:, None] <= out.upper)).mean()
+        assert inside > 0.75
+        assert (out.stds > 0).all()
+        assert out.confidence_level == 0.9
+
+    def test_wider_level_wider_interval(self, trained_estimator):
+        _, client, response = trained_estimator
+        x, _ = regression_data(20, seed=2)
+        narrow = client.estimate(response.model_id, x, confidence_level=0.5)
+        wide = client.estimate(response.model_id, x, confidence_level=0.99)
+        assert ((wide.upper - wide.lower) > (narrow.upper - narrow.lower)).all()
+
+    def test_rejects_classifier_models(self, trained_estimator):
+        service, client, _ = trained_estimator
+        from repro.datasets import SyntheticImageConfig, make_image_dataset
+        from repro.nn import StagedResNetConfig
+
+        data = make_image_dataset(
+            60, SyntheticImageConfig(num_classes=3, image_size=8, seed=0), seed=0
+        )
+        trained = client.train(
+            data.inputs, data.labels,
+            model_config=StagedResNetConfig(
+                num_classes=3, image_size=8, stage_channels=(4,),
+                blocks_per_stage=1, seed=0,
+            ),
+            epochs=1,
+        )
+        with pytest.raises(ValueError):
+            client.estimate(trained.model_id, np.zeros((1, 3 * 8 * 8)))
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            EstimateRequest(model_id="m1", inputs=np.zeros((1, 2)),
+                            confidence_level=1.0)

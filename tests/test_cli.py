@@ -1,0 +1,32 @@
+"""Tests for the CLI driver (light experiments only)."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["not-a-thing"])
+
+    def test_table1_runs(self, capsys):
+        """table1 has no model dependency, so it runs fast."""
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "CNN1" in out and "CNN4" in out
+
+    def test_table4_runs(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Collaborative" in out
+
+    def test_registry_complete(self):
+        assert {"table1", "table2", "table3", "table4", "fig2", "fig4",
+                "resilience", "service-classes", "partitioning"} <= set(EXPERIMENTS)
