@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples experiments clean
+.PHONY: install test bench bench-fast examples experiments clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -12,6 +12,9 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-fast:
+	$(PYTHON) -m pytest benchmarks/test_inference_fastpath.py --benchmark-only -s
 
 examples:
 	$(PYTHON) examples/quickstart.py

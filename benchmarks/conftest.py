@@ -10,13 +10,50 @@ record on disk.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.experiments.common import get_benchmark_artifacts
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def nograd_perf_guard():
+    """Perf-regression guard: the no-grad fast path must stay measurably
+    faster than the autograd forward.  Runs once per bench session on a
+    small model so a regression (e.g. an ``infer`` override silently
+    falling back to graph construction) fails loudly rather than rotting.
+    """
+    from repro.nn.resnet import StagedResNet, StagedResNetConfig
+    from repro.nn.tensor import Tensor
+
+    model = StagedResNet(
+        StagedResNetConfig(num_classes=5, image_size=8, stage_channels=(4, 8),
+                           blocks_per_stage=1)
+    )
+    model.eval()
+    x = np.random.default_rng(0).normal(size=(8, 3, 8, 8))
+    model.predict_proba(x)  # warm up scratch buffers
+
+    def best(fn, repeats=5):
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    t_grad = best(lambda: model.forward(Tensor(x)))
+    t_fast = best(lambda: model.predict_proba(x))
+    assert t_fast < t_grad, (
+        f"no-grad fast path regressed: {1e3 * t_fast:.2f} ms vs "
+        f"{1e3 * t_grad:.2f} ms autograd forward"
+    )
+    yield
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,22 @@
+"""Extension bench — the no-grad / micro-batched inference fast path."""
+
+import pytest
+
+from repro.experiments.fastpath import format_fastpath, run_fastpath
+
+
+@pytest.mark.benchmark(group="fastpath")
+def test_inference_fastpath(benchmark, artifacts, record_result):
+    results = benchmark.pedantic(run_fastpath, args=(artifacts,),
+                                 rounds=1, iterations=1)
+    record_result("inference_fastpath", format_fastpath(results))
+
+    # The acceptance bar: batched no-grad serving at least doubles the
+    # seed's per-image autograd throughput on the 3-stage benchmark model.
+    assert results["speedup_batched"] >= 2.0, results["throughput"]
+    # Dropping graph construction alone must already pay for itself.
+    assert results["speedup_nograd"] > 1.0, results["throughput"]
+    # Batching amortises per-stage overhead: per-image latency inside a
+    # full micro-batch beats single-image stage execution.
+    single, batched = results["stage_latency"]
+    assert batched["per_image_ms"] < single["per_image_ms"]

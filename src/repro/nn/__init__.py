@@ -43,7 +43,17 @@ from .resnet import ResidualBlock, StageClassifier, StagedResNet, StagedResNetCo
 from .rnn import GRU, GRUCell
 from .serialization import load_staged_model, model_size_bytes, save_staged_model
 from .deepsense import DeepSense, DeepSenseConfig
-from .tensor import Tensor, as_tensor, concatenate, numeric_gradient, stack, where
+from .tensor import (
+    Tensor,
+    as_tensor,
+    concatenate,
+    is_grad_enabled,
+    no_grad,
+    numeric_gradient,
+    set_grad_enabled,
+    stack,
+    where,
+)
 from .training import (
     TrainReport,
     collect_stage_outputs,
@@ -58,6 +68,9 @@ __all__ = [
     "concatenate",
     "stack",
     "where",
+    "no_grad",
+    "is_grad_enabled",
+    "set_grad_enabled",
     "numeric_gradient",
     "functional",
     "Dataset",

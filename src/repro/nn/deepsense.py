@@ -131,10 +131,38 @@ class DeepSense(Module):
         return self.head(self.features(x))
 
     # ------------------------------------------------------------------
+    # Inference fast path: raw ndarrays end to end, no Tensor wrappers.
+    # ------------------------------------------------------------------
+    def infer_features(self, x: np.ndarray) -> np.ndarray:
+        """Raw-ndarray counterpart of :meth:`features` (bit-identical)."""
+        x = np.asarray(x)
+        cfg = self.config
+        expected = (cfg.num_sensors * cfg.channels_per_sensor,
+                    cfg.num_intervals, cfg.samples_per_interval)
+        if x.ndim != 4 or x.shape[1:] != expected:
+            raise ValueError(f"expected input (N, {expected}), got {x.shape}")
+        per = cfg.channels_per_sensor
+        encoded = [
+            F.relu_infer(conv.infer(x[:, i * per : (i + 1) * per, :, :]))
+            for i, conv in enumerate(self.local_convs)
+        ]
+        merged = F.relu_infer(self.merge_conv.infer(np.concatenate(encoded, axis=1)))
+        n = merged.shape[0]
+        seq = merged.transpose(0, 2, 1, 3).reshape(
+            n, cfg.num_intervals, cfg.conv_channels * cfg.samples_per_interval
+        )
+        return self.gru.infer(seq)
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Raw-ndarray head outputs (logits / estimates), no graph built."""
+        return self.head.infer(self.infer_features(x))
+
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
         if self.config.task != "classification":
             raise RuntimeError("predict_proba applies to classification models")
-        return F.softmax(self.forward(Tensor(x)), axis=-1).data
+        if self.training:
+            return F.softmax(self.forward(Tensor(x)), axis=-1).data
+        return F.softmax_infer(self.infer(np.asarray(x)), axis=-1)
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         if self.config.task == "classification":
@@ -153,8 +181,12 @@ class DeepSense(Module):
         """(mean, std) for estimation models; std is zeros without variance head."""
         if self.config.task != "estimation":
             raise RuntimeError("uncertainty output applies to estimation models")
-        out = self.forward(Tensor(x))
+        if self.training:
+            out = self.forward(Tensor(x)).data
+        else:
+            out = self.infer(np.asarray(x))
         if self.config.predict_variance:
-            mean, log_var = self.split_mean_logvar(out)
-            return mean.data, np.exp(0.5 * log_var.data)
-        return out.data, np.zeros_like(out.data)
+            d = self.config.output_dim
+            mean, log_var = out[:, :d], out[:, d:]
+            return mean, np.exp(0.5 * log_var)
+        return out, np.zeros_like(out)

@@ -8,11 +8,12 @@ pure-numpy training of the synthetic-CIFAR models tractable.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import threading
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor
+from .tensor import Tensor, as_tensor, no_grad
 
 
 # ----------------------------------------------------------------------
@@ -23,27 +24,79 @@ def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
     return (size + 2 * pad - kernel) // stride + 1
 
 
+class _ScratchPool(threading.local):
+    """Per-thread reusable buffers for the inference fast path.
+
+    Keyed by (shape, dtype).  Thread-local so the runtime's worker threads
+    never hand each other a buffer mid-write.  Buffers are only reused on
+    the no-grad path: the autograd path retains ``cols`` inside backward
+    closures, so it must own a fresh allocation per call.
+    """
+
+    MAX_ENTRIES = 16
+
+    def __init__(self) -> None:
+        self.buffers: Dict[tuple, np.ndarray] = {}
+
+    def get(self, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        key = (shape, np.dtype(dtype).str)
+        buf = self.buffers.get(key)
+        if buf is None:
+            if len(self.buffers) >= self.MAX_ENTRIES:
+                self.buffers.clear()
+            buf = np.empty(shape, dtype=dtype)
+            self.buffers[key] = buf
+        return buf
+
+
+_scratch = _ScratchPool()
+
+
+def _patch_view(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    """Zero-copy (N, C, k, k, out_h, out_w) sliding-patch view of ``x``.
+
+    Pure stride arithmetic via ``as_strided`` — no data is moved; the view
+    aliases ``x`` and is marked read-only.
+    """
+    n, c, h, w = x.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    sn, sc, sh, sw = x.strides
+    return np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, kernel, kernel, out_h, out_w),
+        strides=(sn, sc, sh, sw, sh * stride, sw * stride),
+        writeable=False,
+    )
+
+
 def im2col(
-    x: np.ndarray, kernel: int, stride: int, pad: int
+    x: np.ndarray, kernel: int, stride: int, pad: int, reuse_scratch: bool = False
 ) -> Tuple[np.ndarray, Tuple[int, int]]:
     """Lower NCHW input to column form.
 
     Returns ``(cols, (out_h, out_w))`` where ``cols`` has shape
     ``(N, C * kernel * kernel, out_h * out_w)``.
+
+    Patch gathering is a single strided copy out of an ``as_strided`` view
+    (no per-offset python loop).  With ``reuse_scratch=True`` the column
+    buffer comes from a per-thread pool and is overwritten by the next
+    scratch call — valid only when the caller does not retain it (the
+    no-grad inference path).
     """
     n, c, h, w = x.shape
     out_h = conv_output_size(h, kernel, stride, pad)
     out_w = conv_output_size(w, kernel, stride, pad)
     if pad > 0:
         x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
-
-    cols = np.empty((n, c, kernel, kernel, out_h, out_w), dtype=x.dtype)
-    for ki in range(kernel):
-        i_max = ki + stride * out_h
-        for kj in range(kernel):
-            j_max = kj + stride * out_w
-            cols[:, :, ki, kj, :, :] = x[:, :, ki:i_max:stride, kj:j_max:stride]
-    return cols.reshape(n, c * kernel * kernel, out_h * out_w), (out_h, out_w)
+    view = _patch_view(x, kernel, stride)
+    shape = (n, c, kernel, kernel, out_h, out_w)
+    if reuse_scratch:
+        cols = _scratch.get((n, c * kernel * kernel, out_h * out_w), x.dtype)
+    else:
+        cols = np.empty((n, c * kernel * kernel, out_h * out_w), dtype=x.dtype)
+    np.copyto(cols.reshape(shape), view)
+    return cols, (out_h, out_w)
 
 
 def col2im(
@@ -72,6 +125,49 @@ def col2im(
 # ----------------------------------------------------------------------
 # Convolution / pooling
 # ----------------------------------------------------------------------
+def _conv2d_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    stride: int,
+    padding: int,
+    reuse_scratch: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Shared raw-ndarray convolution forward; returns ``(out, cols)``.
+
+    Both the autograd op and the no-grad fast path run exactly this code,
+    so their outputs are bit-identical by construction.
+    """
+    n = x.shape[0]
+    out_c, in_c, kernel, kernel_w = weight.shape
+    if kernel != kernel_w:
+        raise ValueError("only square kernels are supported")
+    if x.shape[1] != in_c:
+        raise ValueError(
+            f"input has {x.shape[1]} channels but weight expects {in_c}"
+        )
+    cols, (out_h, out_w) = im2col(x, kernel, stride, padding,
+                                  reuse_scratch=reuse_scratch)
+    w2 = weight.reshape(out_c, -1)
+    out = np.einsum("of,nfp->nop", w2, cols, optimize=True)
+    out = out.reshape(n, out_c, out_h, out_w)
+    if bias is not None:
+        out = out + bias.reshape(1, out_c, 1, 1)
+    return out, cols
+
+
+def conv2d_infer(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """No-graph, no-Tensor convolution using the reusable column scratch."""
+    out, _ = _conv2d_forward(x, weight, bias, stride, padding, reuse_scratch=True)
+    return out
+
+
 def conv2d(
     x: Tensor,
     weight: Tensor,
@@ -86,20 +182,13 @@ def conv2d(
     """
     x, weight = as_tensor(x), as_tensor(weight)
     n = x.shape[0]
-    out_c, in_c, kernel, kernel_w = weight.shape
-    if kernel != kernel_w:
-        raise ValueError("only square kernels are supported")
-    if x.shape[1] != in_c:
-        raise ValueError(
-            f"input has {x.shape[1]} channels but weight expects {in_c}"
-        )
-
-    cols, (out_h, out_w) = im2col(x.data, kernel, stride, padding)
+    out_c = weight.shape[0]
+    kernel = weight.shape[2]
+    out_data, cols = _conv2d_forward(
+        x.data, weight.data, None if bias is None else bias.data, stride, padding
+    )
+    out_h, out_w = out_data.shape[2], out_data.shape[3]
     w2 = weight.data.reshape(out_c, -1)
-    out_data = np.einsum("of,nfp->nop", w2, cols, optimize=True)
-    out_data = out_data.reshape(n, out_c, out_h, out_w)
-    if bias is not None:
-        out_data = out_data + bias.data.reshape(1, out_c, 1, 1)
 
     input_shape = x.shape
 
@@ -118,18 +207,32 @@ def conv2d(
     return Tensor._make(out_data, parents, backward_fn, "conv2d")
 
 
+def _max_pool2d_forward(
+    x: np.ndarray, kernel: int, stride: int, reuse_scratch: bool = False
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Tuple[int, int]]:
+    """Shared max-pool forward; returns ``(out, cols, argmax, (out_h, out_w))``."""
+    n, c, h, w = x.shape
+    cols, (out_h, out_w) = im2col(
+        x.reshape(n * c, 1, h, w), kernel, stride, 0, reuse_scratch=reuse_scratch
+    )
+    # cols: (n*c, kernel*kernel, out_h*out_w)
+    argmax = cols.argmax(axis=1)
+    out = np.take_along_axis(cols, argmax[:, None, :], axis=1)[:, 0, :]
+    return out.reshape(n, c, out_h, out_w), cols, argmax, (out_h, out_w)
+
+
+def max_pool2d_infer(x: np.ndarray, kernel: int = 2, stride: Optional[int] = None) -> np.ndarray:
+    """No-graph max pooling on raw arrays (scratch-buffered)."""
+    out, _, _, _ = _max_pool2d_forward(x, kernel, stride or kernel, reuse_scratch=True)
+    return out
+
+
 def max_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
     """Max pooling over NCHW input (non-overlapping by default)."""
     x = as_tensor(x)
     stride = stride or kernel
     n, c, h, w = x.shape
-    cols, (out_h, out_w) = im2col(
-        x.data.reshape(n * c, 1, h, w), kernel, stride, 0
-    )
-    # cols: (n*c, kernel*kernel, out_h*out_w)
-    argmax = cols.argmax(axis=1)
-    out_data = np.take_along_axis(cols, argmax[:, None, :], axis=1)[:, 0, :]
-    out_data = out_data.reshape(n, c, out_h, out_w)
+    out_data, cols, argmax, (out_h, out_w) = _max_pool2d_forward(x.data, kernel, stride)
 
     def backward_fn(grad: np.ndarray) -> None:
         dcols = np.zeros_like(cols)
@@ -142,22 +245,55 @@ def max_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tens
     return Tensor._make(out_data, (x,), backward_fn, "max_pool2d")
 
 
+def _avg_pool2d_forward(
+    x: np.ndarray, kernel: int, stride: int, reuse_scratch: bool = False
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    n, c, h, w = x.shape
+    cols, (out_h, out_w) = im2col(
+        x.reshape(n * c, 1, h, w), kernel, stride, 0, reuse_scratch=reuse_scratch
+    )
+    return cols.mean(axis=1).reshape(n, c, out_h, out_w), (out_h, out_w)
+
+
+def avg_pool2d_infer(x: np.ndarray, kernel: int = 2, stride: Optional[int] = None) -> np.ndarray:
+    """No-graph average pooling on raw arrays (scratch-buffered)."""
+    out, _ = _avg_pool2d_forward(x, kernel, stride or kernel, reuse_scratch=True)
+    return out
+
+
 def avg_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
     """Average pooling over NCHW input."""
     x = as_tensor(x)
     stride = stride or kernel
     n, c, h, w = x.shape
-    cols, (out_h, out_w) = im2col(x.data.reshape(n * c, 1, h, w), kernel, stride, 0)
-    out_data = cols.mean(axis=1).reshape(n, c, out_h, out_w)
+    out_data, (out_h, out_w) = _avg_pool2d_forward(x.data, kernel, stride)
     denom = kernel * kernel
 
     def backward_fn(grad: np.ndarray) -> None:
-        g = grad.reshape(n * c, 1, out_h * out_w) / denom
-        dcols = np.broadcast_to(g, cols.shape).astype(grad.dtype)
-        dx = col2im(dcols, (n * c, 1, h, w), kernel, stride, 0)
+        # The pooling gradient is constant across each kernel window, so
+        # scatter-add the (scaled) output gradient directly at every kernel
+        # offset instead of materializing a dense dcols copy via
+        # broadcast_to(...).astype(...).
+        g = grad.reshape(n * c, 1, out_h, out_w) / denom
+        dx = np.zeros((n * c, 1, h, w), dtype=g.dtype)
+        for ki in range(kernel):
+            i_max = ki + stride * out_h
+            for kj in range(kernel):
+                j_max = kj + stride * out_w
+                dx[:, :, ki:i_max:stride, kj:j_max:stride] += g
         x._accumulate(dx.reshape(n, c, h, w))
 
     return Tensor._make(out_data, (x,), backward_fn, "avg_pool2d")
+
+
+def global_avg_pool2d_infer(x: np.ndarray) -> np.ndarray:
+    """Raw-array global average pool, bit-identical to the Tensor path.
+
+    :meth:`Tensor.mean` computes ``sum * (1/count)`` (not ``sum / count``),
+    so the fast path repeats that exact arithmetic.
+    """
+    count = x.shape[2] * x.shape[3]
+    return x.sum(axis=(2, 3)) * (1.0 / count)
 
 
 def global_avg_pool2d(x: Tensor) -> Tensor:
@@ -183,12 +319,22 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     return Tensor._make(out_data, (x,), backward_fn, "log_softmax")
 
 
+def softmax_infer(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax on raw arrays (same arithmetic as softmax)."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def relu_infer(x: np.ndarray) -> np.ndarray:
+    """Raw-array ReLU, bit-identical to :meth:`Tensor.relu` (``x * (x > 0)``)."""
+    return x * (x > 0)
+
+
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax."""
     x = as_tensor(x)
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    exp = np.exp(shifted)
-    out_data = exp / exp.sum(axis=axis, keepdims=True)
+    out_data = softmax_infer(x.data, axis=axis)
 
     def backward_fn(grad: np.ndarray) -> None:
         dot = (grad * out_data).sum(axis=axis, keepdims=True)

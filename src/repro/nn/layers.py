@@ -15,7 +15,7 @@ import numpy as np
 
 from . import functional as F
 from . import init as initializers
-from .tensor import Tensor
+from .tensor import Tensor, no_grad
 
 
 class Parameter(Tensor):
@@ -37,6 +37,17 @@ class Module:
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Inference fast path: raw ndarray in, raw ndarray out, no graph.
+
+        Subclasses on the hot path override this with Tensor-free numpy
+        code whose arithmetic matches :meth:`forward` bit for bit.  The
+        default falls back to a no-grad :meth:`forward`, so any module is
+        at least graph-free under :func:`repro.nn.tensor.no_grad`.
+        """
+        with no_grad():
+            return self.forward(Tensor(x)).data
 
     # -- traversal -----------------------------------------------------
     def children(self) -> Iterator["Module"]:
@@ -165,6 +176,12 @@ class Dense(Module):
     def forward(self, x: Tensor) -> Tensor:
         return F.linear(x, self.weight, self.bias)
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        out = x @ self.weight.data
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
 
 class Conv2D(Module):
     """2-D convolution over NCHW input with square kernels."""
@@ -193,6 +210,15 @@ class Conv2D(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return F.conv2d_infer(
+            x,
+            self.weight.data,
+            None if self.bias is None else self.bias.data,
+            stride=self.stride,
+            padding=self.padding,
+        )
 
 
 class BatchNorm2D(Module):
@@ -224,6 +250,17 @@ class BatchNorm2D(Module):
         shape = (1, self.channels, 1, 1)
         return normalized * self.gamma.reshape(shape) + self.beta.reshape(shape)
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        if self.training:
+            # Batch statistics (and running-stat updates) need the full
+            # forward; inference mode is an eval-time construct.
+            return super().infer(x)
+        mean = self.running_mean.reshape(1, -1, 1, 1)
+        std = np.sqrt(self.running_var + self.eps).reshape(1, -1, 1, 1)
+        normalized = (x - mean) * (1.0 / std)
+        shape = (1, self.channels, 1, 1)
+        return normalized * self.gamma.data.reshape(shape) + self.beta.data.reshape(shape)
+
 
 class BatchNorm1D(Module):
     """Batch normalization over (N, features) input."""
@@ -252,20 +289,37 @@ class BatchNorm1D(Module):
             normalized = (x - mean) * (1.0 / std)
         return normalized * self.gamma + self.beta
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        if self.training:
+            return super().infer(x)
+        mean = self.running_mean.reshape(1, -1)
+        std = np.sqrt(self.running_var + self.eps).reshape(1, -1)
+        normalized = (x - mean) * (1.0 / std)
+        return normalized * self.gamma.data + self.beta.data
+
 
 class ReLU(Module):
     def forward(self, x: Tensor) -> Tensor:
         return x.relu()
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return F.relu_infer(x)
 
 
 class Tanh(Module):
     def forward(self, x: Tensor) -> Tensor:
         return x.tanh()
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
 
 class Sigmoid(Module):
     def forward(self, x: Tensor) -> Tensor:
         return x.sigmoid()
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-x))
 
 
 class Dropout(Module):
@@ -286,15 +340,28 @@ class Dropout(Module):
         active = self.training or self.always_on
         return F.dropout(x, self.rate, self._rng, training=active)
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        if self.training or self.always_on:
+            # MC dropout needs a stochastic pass; take the no-grad fallback
+            # so the mask comes from the same rng stream as forward().
+            return super().infer(x)
+        return x
+
 
 class Flatten(Module):
     def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
         return x.reshape(x.shape[0], -1)
 
 
 class GlobalAvgPool2D(Module):
     def forward(self, x: Tensor) -> Tensor:
         return F.global_avg_pool2d(x)
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return F.global_avg_pool2d_infer(x)
 
 
 class MaxPool2D(Module):
@@ -305,6 +372,9 @@ class MaxPool2D(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return F.max_pool2d(x, self.kernel, self.stride)
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return F.max_pool2d_infer(x, self.kernel, self.stride)
 
 
 class Sequential(Module):
@@ -317,6 +387,11 @@ class Sequential(Module):
     def forward(self, x: Tensor) -> Tensor:
         for layer in self.layers:
             x = layer(x)
+        return x
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.infer(x)
         return x
 
     def __iter__(self) -> Iterator[Module]:

@@ -67,6 +67,12 @@ class ResidualBlock(Module):
         skip = x if self.shortcut is None else self.shortcut(x)
         return (out + skip).relu()
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        out = F.relu_infer(self.bn1.infer(self.conv1.infer(x)))
+        out = self.bn2.infer(self.conv2.infer(out))
+        skip = x if self.shortcut is None else self.shortcut.infer(x)
+        return F.relu_infer(out + skip)
+
 
 class StageClassifier(Module):
     """Thin end-of-stage classifier: global average pool + affine + softmax."""
@@ -80,6 +86,9 @@ class StageClassifier(Module):
     def forward(self, features: Tensor) -> Tensor:
         """Return logits (apply :func:`repro.nn.functional.softmax` for probs)."""
         return self.fc(self.pool(features))
+
+    def infer(self, features: np.ndarray) -> np.ndarray:
+        return self.fc.infer(self.pool.infer(features))
 
 
 @dataclass
@@ -172,12 +181,42 @@ class StagedResNet(Module):
         return new_features, logits
 
     # ------------------------------------------------------------------
-    # Numpy-facing inference helpers
+    # Numpy-facing inference helpers (the no-Tensor fast path)
     # ------------------------------------------------------------------
+    def infer_stem(self, x: np.ndarray) -> np.ndarray:
+        """Raw-ndarray stem: no autograd graph, no Tensor wrappers."""
+        return F.relu_infer(self.stem.infer(np.asarray(x)))
+
+    def infer_stage(self, features: np.ndarray, stage_idx: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Raw-ndarray counterpart of :meth:`run_stage`.
+
+        Returns ``(new_features, logits)`` as plain arrays.  Activations are
+        never wrapped in :class:`Tensor`, so per-stage serving pays neither
+        graph construction nor backward-closure allocation.  Outputs are
+        bit-identical to :meth:`run_stage` in eval mode.
+        """
+        if not 0 <= stage_idx < self.num_stages:
+            raise IndexError(f"stage {stage_idx} out of range [0, {self.num_stages})")
+        new_features = self.stages[stage_idx].infer(features)
+        logits = self.classifiers[stage_idx].infer(new_features)
+        return new_features, logits
+
     def predict_proba(self, x: np.ndarray) -> List[np.ndarray]:
-        """Per-stage softmax probabilities for a batch (eval mode respected)."""
-        logits = self.forward(Tensor(x))
-        return [F.softmax(l, axis=-1).data for l in logits]
+        """Per-stage softmax probabilities for a batch (eval mode respected).
+
+        In eval mode this runs the raw-ndarray fast path; during training
+        (batch statistics, running-stat updates) it falls back to the
+        recording forward.  Both produce bit-identical probabilities.
+        """
+        if self.training:
+            logits = self.forward(Tensor(x))
+            return [F.softmax(l, axis=-1).data for l in logits]
+        features = self.infer_stem(np.asarray(x))
+        probs: List[np.ndarray] = []
+        for stage_idx in range(self.num_stages):
+            features, logits = self.infer_stage(features, stage_idx)
+            probs.append(F.softmax_infer(logits, axis=-1))
+        return probs
 
     def predict(self, x: np.ndarray, stage: int = -1) -> np.ndarray:
         """Class predictions using the classifier of ``stage`` (default: last)."""

@@ -56,6 +56,18 @@ class GRUCell(Module):
         one = Tensor(np.ones_like(z.data))
         return (one - z) * hidden + z * n
 
+    def infer(self, x: np.ndarray, hidden: Optional[np.ndarray] = None) -> np.ndarray:
+        """Raw-ndarray GRU step, arithmetic-identical to :meth:`forward`."""
+        if hidden is None:
+            hidden = np.zeros((x.shape[0], self.hidden_size))
+        h = self.hidden_size
+        gates_x = x @ self.w_input.data + self.bias.data
+        gates_h = hidden @ self.w_hidden.data
+        r = 1.0 / (1.0 + np.exp(-(gates_x[:, 0:h] + gates_h[:, 0:h])))
+        z = 1.0 / (1.0 + np.exp(-(gates_x[:, h : 2 * h] + gates_h[:, h : 2 * h])))
+        n = np.tanh(gates_x[:, 2 * h : 3 * h] + r * gates_h[:, 2 * h : 3 * h])
+        return (np.ones_like(z) - z) * hidden + z * n
+
 
 class GRU(Module):
     """Unidirectional GRU over a (N, T, F) sequence."""
@@ -83,4 +95,11 @@ class GRU(Module):
     def last_output(self, x: Tensor) -> Tensor:
         """Convenience: just the final hidden state."""
         _, state = self.forward(x)
+        return state
+
+    def infer(self, x: np.ndarray, hidden: Optional[np.ndarray] = None) -> np.ndarray:
+        """Raw-ndarray scan over the sequence; returns the final hidden state."""
+        state = hidden
+        for t in range(x.shape[1]):
+            state = self.cell.infer(x[:, t, :], state)
         return state

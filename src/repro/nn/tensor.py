@@ -13,6 +13,7 @@ are reduced back to the operand's original shape by :func:`unbroadcast`.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -20,6 +21,58 @@ import numpy as np
 ArrayLike = Union[np.ndarray, float, int, "Tensor", Sequence]
 
 _DEFAULT_DTYPE = np.float64
+
+
+class _GradMode(threading.local):
+    """Thread-local autograd switch.
+
+    Thread-local (not global) because the inference runtime's worker threads
+    run forward passes in no-grad mode while a training loop may be
+    backpropagating concurrently on another thread.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+_grad_mode = _GradMode()
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations on tensors currently record an autograd graph."""
+    return _grad_mode.enabled
+
+
+def set_grad_enabled(enabled: bool) -> bool:
+    """Set the autograd switch for this thread; returns the previous value."""
+    previous = _grad_mode.enabled
+    _grad_mode.enabled = bool(enabled)
+    return previous
+
+
+class no_grad:
+    """Context manager / decorator that disables graph construction.
+
+    Inside the context every produced :class:`Tensor` is a detached leaf:
+    no parents, no backward closure, ``requires_grad=False``.  Forward
+    values are identical to the recording path; only the tape is skipped.
+    """
+
+    def __enter__(self) -> "no_grad":
+        self._previous = set_grad_enabled(False)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        set_grad_enabled(self._previous)
+
+    def __call__(self, fn: Callable) -> Callable:
+        def wrapped(*args, **kwargs):
+            with no_grad():
+                return fn(*args, **kwargs)
+
+        wrapped.__name__ = getattr(fn, "__name__", "wrapped")
+        wrapped.__doc__ = fn.__doc__
+        return wrapped
 
 
 def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -179,8 +232,8 @@ class Tensor:
         backward_fn: Callable[[np.ndarray], None],
         op: str,
     ) -> "Tensor":
-        requires = any(p.requires_grad for p in parents)
-        grad_parents = tuple(p for p in parents if p.requires_grad)
+        requires = _grad_mode.enabled and any(p.requires_grad for p in parents)
+        grad_parents = tuple(p for p in parents if p.requires_grad) if requires else ()
         return Tensor(
             data,
             requires_grad=requires,

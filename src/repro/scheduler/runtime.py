@@ -17,6 +17,20 @@ threads (the Python analogue of the paper's worker-process pool):
 
 Implemented in user space, no OS support needed — the portability argument
 of Section III.
+
+Two inference-fast-path extensions beyond the paper's design:
+
+- **No-grad stage execution.**  Workers run stages through the model's
+  raw-ndarray :meth:`~repro.nn.resnet.StagedResNet.infer_stage` path, so
+  serving never pays autograd-graph construction.
+- **Micro-batching.**  When ``RuntimeConfig.max_batch > 1`` the scheduler
+  coalesces queued (task, stage) items for the *same* stage into one
+  batched stage execution (one BLAS matmul instead of ``B`` small ones) and
+  splits the per-task confidences back out of the batch afterwards.  An
+  optional ``drain_window`` lets an undersized batch briefly wait for more
+  same-stage work while other results are still in flight.  Batches are
+  formed under the scheduler lock, so a task evicted by the daemon can
+  never appear in a newly formed batch.
 """
 
 from __future__ import annotations
@@ -24,14 +38,14 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..nn import functional as F
 from ..nn.resnet import StagedResNet
-from ..nn.tensor import Tensor
 from .policies import SchedulingPolicy
 from .task import StageOutcome, TaskRecord
 
@@ -43,12 +57,23 @@ class RuntimeConfig:
     latency_constraint: float = 5.0
     #: daemon polling period in seconds.
     daemon_interval: float = 0.005
+    #: maximum number of same-stage tasks coalesced into one batched stage
+    #: execution (1 = the paper's one-image-per-worker behaviour).
+    max_batch: int = 1
+    #: seconds an undersized batch may be held back waiting for more
+    #: same-stage work while other results are still in flight (0 = never
+    #: wait; dispatch whatever was coalesced immediately).
+    drain_window: float = 0.0
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
             raise ValueError("need at least one worker")
         if self.latency_constraint <= 0:
             raise ValueError("latency constraint must be positive")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.drain_window < 0:
+            raise ValueError("drain_window must be non-negative")
 
 
 @dataclass
@@ -70,12 +95,103 @@ class RuntimeTaskResult:
 
 
 class _WorkItem:
-    __slots__ = ("task_id", "stage", "features")
+    """One unit of worker work: a same-stage micro-batch of tasks."""
 
-    def __init__(self, task_id: int, stage: int, features) -> None:
-        self.task_id = task_id
+    __slots__ = ("task_ids", "stage", "features", "needs_stem")
+
+    def __init__(
+        self,
+        task_ids: Tuple[int, ...],
+        stage: int,
+        features: np.ndarray,
+        needs_stem: bool,
+    ) -> None:
+        self.task_ids = task_ids
         self.stage = stage
         self.features = features
+        self.needs_stem = needs_stem
+
+
+def _eligible(
+    records: Dict[int, TaskRecord], in_flight: Dict[int, int], tid: int, stage: int
+) -> bool:
+    """Can (tid, stage) be executed right now?  (Call with the lock held.)"""
+    record = records.get(tid)
+    return (
+        record is not None
+        and not record.done
+        and tid not in in_flight
+        and record.next_stage == stage
+    )
+
+
+def form_batch(
+    timeline: Deque[tuple],
+    records: Dict[int, TaskRecord],
+    in_flight: Dict[int, int],
+    max_batch: int,
+) -> Tuple[List[int], Optional[int], Deque[tuple]]:
+    """Pop one same-stage micro-batch off the timeline.
+
+    Scans from the front: the first eligible entry fixes the batch's stage;
+    further eligible entries for the same stage join it (up to
+    ``max_batch``); eligible entries for *other* stages keep their timeline
+    position; stale entries (done, evicted, already executing, or whose
+    stage no longer matches the task's next stage) are dropped, exactly as
+    the unbatched scheduler dropped them.
+
+    Returns ``(batch_task_ids, stage, remaining_timeline)``.  Must be
+    called with the scheduler lock held, which is what guarantees an
+    evicted task can never appear in a formed batch.
+    """
+    batch: List[int] = []
+    stage: Optional[int] = None
+    leftovers: Deque[tuple] = deque()
+    while timeline:
+        tid, st = timeline.popleft()
+        if not _eligible(records, in_flight, tid, st):
+            continue
+        if stage is None:
+            stage = st
+            batch.append(tid)
+        elif st == stage:
+            # A duplicate entry for an already-batched (tid, stage) is
+            # redundant now that the batch covers it: drop it.
+            if tid not in batch:
+                batch.append(tid)
+        else:
+            leftovers.append((tid, st))
+        if len(batch) >= max_batch:
+            break
+    leftovers.extend(timeline)
+    return batch, stage, leftovers
+
+
+def _extract_stage(
+    timeline: Deque[tuple],
+    stage: int,
+    need: int,
+    records: Dict[int, TaskRecord],
+    in_flight: Dict[int, int],
+    exclude: set,
+) -> Tuple[List[int], Deque[tuple]]:
+    """Pull up to ``need`` eligible entries for ``stage`` out of the timeline.
+
+    Used to top up a held-back (drain-window) batch.  Entries for other
+    stages keep their position; stale entries are dropped.  Lock held.
+    """
+    taken: List[int] = []
+    remaining: Deque[tuple] = deque()
+    while timeline:
+        tid, st = timeline.popleft()
+        if not _eligible(records, in_flight, tid, st) or tid in exclude:
+            continue
+        if st == stage and len(taken) < need:
+            taken.append(tid)
+            exclude.add(tid)
+        else:
+            remaining.append((tid, st))
+    return taken, remaining
 
 
 class StagedInferenceRuntime:
@@ -91,6 +207,9 @@ class StagedInferenceRuntime:
         self.policy = policy
         self.config = config or RuntimeConfig()
         self._inputs: List[np.ndarray] = []
+        #: (stage, task_ids) of every dispatched micro-batch, for the last
+        #: :meth:`run_until_complete` call — introspection for tests/metrics.
+        self.batch_log: List[Tuple[int, Tuple[int, ...]]] = []
 
     def submit(self, inputs: np.ndarray) -> List[int]:
         """Queue a batch of single-image tasks; returns their task ids."""
@@ -110,9 +229,10 @@ class StagedInferenceRuntime:
         self.model.eval()
         cfg = self.config
         t0 = time.monotonic()
+        self.batch_log = []
 
         records: Dict[int, TaskRecord] = {}
-        features: Dict[int, Tensor] = {}
+        features: Dict[int, np.ndarray] = {}
         lock = threading.Lock()
         work_queue: "queue.Queue[Optional[_WorkItem]]" = queue.Queue()
         result_queue: "queue.Queue[tuple]" = queue.Queue()
@@ -134,12 +254,15 @@ class StagedInferenceRuntime:
                     continue
                 if item is None:
                     return
-                new_features, logits = self.model.run_stage(item.features, item.stage)
-                probs = F.softmax(logits, axis=-1).data[0]
-                prediction = int(probs.argmax())
-                confidence = float(probs.max())
+                feats = item.features
+                if item.needs_stem:
+                    feats = self.model.infer_stem(feats)
+                new_features, logits = self.model.infer_stage(feats, item.stage)
+                probs = F.softmax_infer(logits, axis=-1)
+                predictions = probs.argmax(axis=-1)
+                confidences = probs.max(axis=-1)
                 result_queue.put(
-                    (item.task_id, item.stage, prediction, confidence, new_features)
+                    (item.task_ids, item.stage, predictions, confidences, new_features)
                 )
 
         def daemon_loop() -> None:
@@ -163,72 +286,162 @@ class StagedInferenceRuntime:
         daemon.start()
 
         in_flight: Dict[int, int] = {}  # task_id -> stage being executed
-        timeline: List[tuple] = []
+        items_in_flight = 0  # work items (micro-batches) at the workers
+        timeline: Deque[tuple] = deque()
+        # Undersized batch waiting out the drain window: (tids, stage, t_formed).
+        pending: Optional[Tuple[List[int], int, float]] = None
+
+        def dispatch(batch: Sequence[int], stage: int) -> None:
+            """Hand a formed micro-batch to the worker pool.  Lock held."""
+            nonlocal items_in_flight
+            tids = tuple(batch)
+            if stage == 0:
+                feats = np.concatenate([self._inputs[tid] for tid in tids], axis=0)
+                needs_stem = True
+            else:
+                feats = np.concatenate([features[tid] for tid in tids], axis=0)
+                needs_stem = False
+            for tid in tids:
+                in_flight[tid] = stage
+            items_in_flight += 1
+            self.batch_log.append((stage, tids))
+            work_queue.put(_WorkItem(tids, stage, feats, needs_stem))
+
+        def next_batch(now: float) -> Tuple[List[int], Optional[int]]:
+            """Form the next micro-batch, replanning as needed.
+
+            Policies like FIFO and RTDeepIoT-k plan only one task's work at
+            a time, so filling a batch requires replanning with the already
+            batched tasks masked out: each fresh plan contributes its
+            same-stage head items until the batch fills, the policy's next
+            choice is a different stage, or no schedulable tasks remain.
+            """
+            nonlocal timeline
+            batch: List[int] = []
+            stage: Optional[int] = None
+            replans = 0
+            while True:
+                if stage is None:
+                    batch, stage, timeline = form_batch(
+                        timeline, records, in_flight, cfg.max_batch
+                    )
+                    progressed = bool(batch)
+                else:
+                    extra, timeline = _extract_stage(
+                        timeline,
+                        stage,
+                        cfg.max_batch - len(batch),
+                        records,
+                        in_flight,
+                        set(batch),
+                    )
+                    batch.extend(extra)
+                    progressed = bool(extra)
+                if len(batch) >= cfg.max_batch:
+                    break
+                if not progressed and replans > 0:
+                    break
+                if replans >= cfg.max_batch:
+                    break
+                candidates = [
+                    r.view()
+                    for r in records.values()
+                    if not r.done
+                    and r.task_id not in in_flight
+                    and r.task_id not in batch
+                ]
+                if not candidates:
+                    break
+                fresh = self.policy.plan(candidates, now)
+                if not fresh:
+                    break
+                timeline.extend(fresh)
+                replans += 1
+            return batch, stage
 
         def refill(now: float) -> None:
             """Keep the workers fed; replan when the timeline drains."""
-            nonlocal timeline
-            while len(in_flight) < cfg.num_workers:
-                item = None
-                for attempt in range(2):
-                    while timeline:
-                        tid, stage = timeline.pop(0)
-                        record = records[tid]
-                        if record.done or tid in in_flight:
-                            continue
-                        if record.next_stage != stage:
-                            continue
-                        item = (tid, stage)
-                        break
-                    if item is not None or attempt == 1:
-                        break
-                    views = [
-                        r.view()
-                        for r in records.values()
-                        if not r.done and r.task_id not in in_flight
+            nonlocal timeline, pending
+            while items_in_flight < cfg.num_workers:
+                if pending is not None:
+                    batch, stage, formed_at = pending
+                    # Re-validate: eviction or completion may have struck
+                    # while the batch waited out the drain window.
+                    batch = [
+                        tid for tid in batch
+                        if _eligible(records, in_flight, tid, stage)
                     ]
-                    timeline = list(self.policy.plan(views, now))
-                    if not timeline:
-                        break
-                if item is None:
+                    if batch and len(batch) < cfg.max_batch:
+                        extra, timeline = _extract_stage(
+                            timeline,
+                            stage,
+                            cfg.max_batch - len(batch),
+                            records,
+                            in_flight,
+                            set(batch),
+                        )
+                        batch.extend(extra)
+                    if not batch:
+                        pending = None
+                        continue
+                    expired = (now - formed_at) >= cfg.drain_window
+                    if len(batch) >= cfg.max_batch or expired or items_in_flight == 0:
+                        pending = None
+                        dispatch(batch, stage)
+                        continue
+                    pending = (batch, stage, formed_at)
                     return
-                tid, stage = item
-                feats = features[tid] if stage > 0 else self.model.run_stem(
-                    Tensor(self._inputs[tid])
-                )
-                in_flight[tid] = stage
-                work_queue.put(_WorkItem(tid, stage, feats))
+                batch, stage = next_batch(now)
+                if not batch:
+                    return
+                if (
+                    len(batch) < cfg.max_batch
+                    and cfg.drain_window > 0
+                    and items_in_flight > 0
+                ):
+                    # Hold back: in-flight results may yield same-stage work.
+                    pending = (batch, stage, now)
+                    return
+                dispatch(batch, stage)
 
         try:
             with lock:
                 refill(0.0)
             while True:
                 with lock:
-                    if all(r.done for r in records.values()) and not in_flight:
+                    if (
+                        all(r.done for r in records.values())
+                        and items_in_flight == 0
+                    ):
                         break
+                    wait = 0.005 if pending is not None else 0.05
                 try:
-                    tid, stage, prediction, confidence, new_features = result_queue.get(
-                        timeout=0.05
+                    tids, stage, predictions, confidences, new_features = (
+                        result_queue.get(timeout=wait)
                     )
                 except queue.Empty:
-                    # Evictions may have freed scheduling slots meanwhile.
+                    # Evictions (or an expiring drain window) may have freed
+                    # scheduling slots meanwhile.
                     now = time.monotonic() - t0
                     with lock:
                         refill(now)
                     continue
                 now = time.monotonic() - t0
                 with lock:
-                    in_flight.pop(tid, None)
-                    record = records[tid]
-                    if not record.evicted:
+                    items_in_flight -= 1
+                    for i, tid in enumerate(tids):
+                        in_flight.pop(tid, None)
+                        record = records[tid]
+                        if record.evicted:
+                            continue
                         record.outcomes.append(
                             StageOutcome(
                                 stage=stage,
-                                prediction=prediction,
-                                confidence=confidence,
+                                prediction=int(predictions[i]),
+                                confidence=float(confidences[i]),
                             )
                         )
-                        features[tid] = new_features
+                        features[tid] = new_features[i : i + 1].copy()
                         if record.complete:
                             record.finish_time = now
                     refill(now)

@@ -135,12 +135,21 @@ class InferRequest:
     latency_constraint_s: float = 10.0
     lookahead: int = 1
     num_workers: int = 2
+    #: same-stage tasks coalesced into one batched stage execution
+    #: (1 = the unbatched per-image behaviour).
+    max_batch: int = 1
+    #: seconds an undersized batch may wait for more same-stage work.
+    drain_window_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.latency_constraint_s <= 0:
             raise ValueError("latency constraint must be positive")
         if self.lookahead < 1:
             raise ValueError("lookahead must be >= 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.drain_window_s < 0:
+            raise ValueError("drain_window_s must be non-negative")
 
 
 @dataclass
@@ -193,6 +202,13 @@ class ClassifyRequest:
 
     model_id: str
     inputs: np.ndarray
+    #: when set, inputs are classified in chunks of this size — bounds peak
+    #: memory of the im2col buffers for large requests.
+    micro_batch: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.micro_batch is not None and self.micro_batch < 1:
+            raise ValueError("micro_batch must be >= 1 when given")
 
 
 @dataclass

@@ -170,7 +170,7 @@ def _default_classifier_factory(num_classes: int, steps: int = 250, seed: int = 
         def predict(self, x: np.ndarray) -> np.ndarray:
             assert self.model is not None
             flat = x.reshape(len(x), -1)
-            return self.model(Tensor(flat)).data.argmax(axis=-1)
+            return self.model.infer(flat).argmax(axis=-1)
 
     return _Logistic()
 

@@ -146,10 +146,20 @@ class EugeneService:
         inputs = np.asarray(request.inputs, dtype=np.float64)
         if entry.kind == "estimator":
             raise ValueError("estimator models serve estimate(), not classify()")
-        if isinstance(entry.model, DeepSense):
-            probs = entry.model.predict_proba(inputs)
+        entry.model.eval()  # serving always takes the no-grad fast path
+
+        def final_probs(chunk: np.ndarray) -> np.ndarray:
+            probs = entry.model.predict_proba(chunk)
+            return probs if isinstance(entry.model, DeepSense) else probs[-1]
+
+        size = request.micro_batch
+        if size is None or size >= len(inputs):
+            probs = final_probs(inputs)
         else:
-            probs = entry.model.predict_proba(inputs)[-1]
+            probs = np.concatenate(
+                [final_probs(inputs[i : i + size]) for i in range(0, len(inputs), size)],
+                axis=0,
+            )
         return ClassifyResponse(
             predictions=probs.argmax(axis=-1),
             confidences=probs.max(axis=-1),
@@ -303,6 +313,8 @@ class EugeneService:
             RuntimeConfig(
                 num_workers=request.num_workers,
                 latency_constraint=request.latency_constraint_s,
+                max_batch=request.max_batch,
+                drain_window=request.drain_window_s,
             ),
         )
         runtime.submit(request.inputs)
