@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast examples experiments clean
+.PHONY: install test bench bench-fast bench-telemetry examples experiments clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -15,6 +15,9 @@ bench:
 
 bench-fast:
 	$(PYTHON) -m pytest benchmarks/test_inference_fastpath.py --benchmark-only -s
+
+bench-telemetry:
+	$(PYTHON) -m pytest benchmarks/test_telemetry_overhead.py --benchmark-only -s
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -56,6 +56,24 @@ def nograd_perf_guard():
     yield
 
 
+@pytest.fixture(scope="session", autouse=True)
+def telemetry_disabled_guard():
+    """Benchmarks measure the uninstrumented hot path: a telemetry session
+    left enabled (by a previous test run or an experiment helper) would
+    silently tax every number reported here, so fail loudly instead.
+    """
+    from repro import telemetry
+
+    assert telemetry.active() is None, (
+        "a telemetry session is enabled; benchmarks must run with "
+        "telemetry disabled"
+    )
+    yield
+    assert telemetry.active() is None, (
+        "a benchmark left a telemetry session enabled"
+    )
+
+
 @pytest.fixture(scope="session")
 def artifacts():
     """The trained + calibrated benchmark model and its outputs."""

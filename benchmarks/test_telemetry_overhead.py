@@ -1,0 +1,91 @@
+"""Telemetry overhead guard — disabled instrumentation must be free.
+
+Every hot-path call site added by the telemetry layer reduces, when no
+session is enabled, to a single module-global read plus a ``None`` check.
+This bench drives the same no-grad micro-batched computation two ways:
+
+- **baseline** — the raw PR-1 fast path: ``predict_proba`` over
+  micro-batches with no telemetry call sites at all;
+- **instrumented** — the full ``service.classify`` endpoint, which passes
+  through the ``@telemetry.timed`` decorator and the serving-metrics
+  summary builder, with telemetry disabled.
+
+The acceptance bar: the instrumented path stays within 5% of the
+baseline, so enabling the layer by default in the service costs nothing
+until a session is actually opened.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.service import ClassifyRequest, EugeneService
+
+MICRO_BATCH = 16
+NUM_IMAGES = 64
+REPEATS = 7
+
+
+def _best_time(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.benchmark(group="telemetry")
+def test_disabled_telemetry_within_five_percent(benchmark, artifacts, record_result):
+    telemetry.disable()
+    model = artifacts.model
+    model.eval()
+    x = np.asarray(artifacts.test_set.inputs[:NUM_IMAGES], dtype=np.float64)
+
+    service = EugeneService(seed=0)
+    entry = service.registry.register("bench", model)
+
+    def baseline():
+        inputs = np.asarray(x, dtype=np.float64)
+        probs = np.concatenate(
+            [
+                model.predict_proba(inputs[i : i + MICRO_BATCH])[-1]
+                for i in range(0, len(inputs), MICRO_BATCH)
+            ],
+            axis=0,
+        )
+        return probs.argmax(axis=-1), probs.max(axis=-1)
+
+    def instrumented():
+        return service.classify(
+            ClassifyRequest(
+                model_id=entry.model_id, inputs=x, micro_batch=MICRO_BATCH
+            )
+        )
+
+    baseline()  # warm scratch buffers
+    instrumented()
+
+    def measure():
+        return _best_time(baseline), _best_time(instrumented)
+
+    t_base, t_inst = benchmark.pedantic(measure, rounds=1, iterations=1)
+    overhead = t_inst / t_base - 1.0
+    record_result(
+        "telemetry_overhead",
+        "\n".join(
+            [
+                f"baseline no-grad batched path : {1e3 * t_base:8.2f} ms",
+                f"instrumented (telemetry off)  : {1e3 * t_inst:8.2f} ms",
+                f"overhead                      : {100 * overhead:+8.2f} %",
+            ]
+        ),
+    )
+    assert t_inst <= 1.05 * t_base, (
+        f"disabled telemetry costs {100 * overhead:.1f}% "
+        f"({1e3 * t_inst:.2f} ms vs {1e3 * t_base:.2f} ms baseline)"
+    )
+    # The endpoint must not fabricate a summary while disabled.
+    assert instrumented().metrics is None

@@ -12,6 +12,7 @@ Subpackages (see DESIGN.md for the system inventory):
 - :mod:`repro.labeling` — SenseGAN-style semi-supervised labeling
 - :mod:`repro.collaborative` — multi-camera collaborative inferencing (Table IV)
 - :mod:`repro.service` — the Eugene service facade (train/label/reduce/profile/infer)
+- :mod:`repro.telemetry` — metrics + tracing for the serving stack (off by default)
 """
 
 __version__ = "1.0.0"
@@ -27,6 +28,7 @@ from . import (
     profiling,
     scheduler,
     service,
+    telemetry,
 )
 
 __all__ = [
@@ -40,5 +42,6 @@ __all__ = [
     "labeling",
     "collaborative",
     "service",
+    "telemetry",
     "__version__",
 ]

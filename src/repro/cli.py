@@ -6,9 +6,17 @@ Usage::
     python -m repro.cli table1
     python -m repro.cli table2 table3 fig2
     python -m repro.cli all
+    python -m repro.cli metrics [--json] [--events]
 
 The first run of the model-backed experiments trains the benchmark model
 (~4 minutes) and caches it under ``.bench_cache/``.
+
+``metrics`` is not an experiment: it runs a small scripted serving
+workload (train → profile → classify → infer, including one
+deadline-constrained episode) with :mod:`repro.telemetry` enabled and
+prints the telemetry export — per-stage latency p50/p95/p99, batch
+occupancy, deadline misses, per-endpoint request counts and the scheduler
+trace tally.
 """
 
 from __future__ import annotations
@@ -88,6 +96,101 @@ def _partitioning() -> str:
     return "\n".join(lines)
 
 
+def run_metrics_workload(seed: int = 0):
+    """Scripted serving workload under an enabled telemetry session.
+
+    Returns the :class:`repro.telemetry.Telemetry` session after training a
+    tiny staged model and serving it through every hot endpoint: profile,
+    micro-batched classify, a comfortably-deadlined batched infer, and a
+    deliberately tight-deadlined infer so deadline-miss accounting shows up.
+    The caller owns the session (``telemetry.disable()`` when done).
+    """
+    import numpy as np
+
+    from . import telemetry
+    from .datasets import SyntheticImageConfig, make_image_dataset
+    from .nn.resnet import StagedResNetConfig
+    from .service import (
+        ClassifyRequest,
+        EugeneService,
+        InferRequest,
+        ProfileRequest,
+        TrainRequest,
+    )
+
+    session = telemetry.enable()
+    data = make_image_dataset(
+        240, SyntheticImageConfig(num_classes=4, image_size=8, seed=3), seed=seed
+    )
+    service = EugeneService(seed=seed)
+    trained = service.train(
+        TrainRequest(
+            inputs=data.inputs,
+            labels=data.labels,
+            model_config=StagedResNetConfig(
+                num_classes=4, image_size=8, stage_channels=(4, 8),
+                blocks_per_stage=1, seed=seed,
+            ),
+            epochs=3,
+            name="metrics-demo",
+        )
+    )
+    service.profile(ProfileRequest(model_id=trained.model_id))
+    service.classify(
+        ClassifyRequest(
+            model_id=trained.model_id, inputs=data.inputs[:32], micro_batch=8
+        )
+    )
+    service.infer(
+        InferRequest(
+            model_id=trained.model_id,
+            inputs=data.inputs[:12],
+            latency_constraint_s=30.0,
+            num_workers=2,
+            max_batch=4,
+            drain_window_s=0.005,
+        )
+    )
+    # A deadline nobody can meet for 12 tasks on 2 workers: exercises the
+    # eviction daemon and the dispatch-time deadline re-check.
+    service.infer(
+        InferRequest(
+            model_id=trained.model_id,
+            inputs=data.inputs[:12],
+            latency_constraint_s=0.004,
+            num_workers=2,
+        )
+    )
+    return session
+
+
+def _metrics_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro metrics",
+        description="Run a scripted serving workload and print its telemetry.",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    parser.add_argument(
+        "--events", action="store_true", help="include raw trace events (JSON only)"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    from . import telemetry
+
+    try:
+        session = run_metrics_workload(seed=args.seed)
+        if args.json:
+            print(telemetry.to_json(session, trace_events=args.events))
+        else:
+            print(telemetry.render_text(session))
+    finally:
+        telemetry.disable()
+    return 0
+
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "table1": _table1,
     "fig2": _fig2,
@@ -102,6 +205,11 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "metrics":
+        return _metrics_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the Eugene paper's tables and figures.",
@@ -109,7 +217,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        help="experiment names (see 'list'), or 'all', or 'list'",
+        help="experiment names (see 'list'), or 'all', or 'list', "
+        "or the 'metrics' subcommand (see 'metrics --help')",
     )
     args = parser.parse_args(argv)
 

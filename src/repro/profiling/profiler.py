@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from .cost_model import ConvLayerSpec, MobileDeviceCostModel
 
 
@@ -46,6 +47,7 @@ def generate_profiling_samples(
     if num_samples < 1 or repeats < 1:
         raise ValueError("num_samples and repeats must be positive")
     rng = np.random.default_rng(seed)
+    tel = telemetry.active()
     samples: List[ProfileSample] = []
     for _ in range(num_samples):
         in_ch = int(np.round(2 ** rng.uniform(0, 7.5)))
@@ -56,6 +58,11 @@ def generate_profiling_samples(
             input_size=input_size,
         )
         t = float(np.mean([device.measure(spec) for _ in range(repeats)]))
+        if tel is not None:
+            # Measured stage costs feed the same registry the scheduler
+            # reads, so profiled and served latencies share one export.
+            tel.registry.counter("profiling.samples").inc()
+            tel.registry.histogram("profiling.sample_time_ms").observe(t)
         samples.append(ProfileSample(spec, t))
     return samples
 

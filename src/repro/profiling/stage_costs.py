@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..nn.resnet import StagedResNet
 from .cost_model import ConvLayerSpec, MobileDeviceCostModel
 
@@ -47,4 +48,10 @@ def stage_execution_times(
     if normalize:
         mean = float(np.mean(times))
         times = [mean] * len(times)
+    tel = telemetry.active()
+    if tel is not None:
+        for stage, t in enumerate(times):
+            tel.registry.histogram(f"profiling.stage_time_ms.stage{stage}").observe(
+                t * time_unit_ms
+            )
     return times

@@ -44,6 +44,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..nn import functional as F
 from ..nn.resnet import StagedResNet
 from .policies import SchedulingPolicy
@@ -74,6 +75,11 @@ class RuntimeConfig:
             raise ValueError("max_batch must be >= 1")
         if self.drain_window < 0:
             raise ValueError("drain_window must be non-negative")
+        if self.drain_window > 0 and self.max_batch <= 1:
+            raise ValueError(
+                "drain_window > 0 requires max_batch > 1: a single-task "
+                "batch can never grow, so holding it back only adds latency"
+            )
 
 
 @dataclass
@@ -230,6 +236,7 @@ class StagedInferenceRuntime:
         cfg = self.config
         t0 = time.monotonic()
         self.batch_log = []
+        tel = telemetry.active()
 
         records: Dict[int, TaskRecord] = {}
         features: Dict[int, np.ndarray] = {}
@@ -238,6 +245,13 @@ class StagedInferenceRuntime:
         result_queue: "queue.Queue[tuple]" = queue.Queue()
         stop = threading.Event()
 
+        if tel is not None:
+            # Pre-create the episode counters so a clean run still exports
+            # an explicit zero for misses rather than omitting the series.
+            tel.registry.counter("runtime.tasks_submitted").inc(len(self._inputs))
+            tel.registry.counter("runtime.tasks_completed")
+            tel.registry.counter("runtime.deadline_misses")
+
         for tid, x in enumerate(self._inputs):
             records[tid] = TaskRecord(
                 task_id=tid,
@@ -245,6 +259,8 @@ class StagedInferenceRuntime:
                 deadline=cfg.latency_constraint,
                 num_stages=self.model.num_stages,
             )
+            if tel is not None:
+                tel.trace.admit(0.0, tid, deadline=cfg.latency_constraint)
 
         def worker_loop() -> None:
             while not stop.is_set():
@@ -254,6 +270,7 @@ class StagedInferenceRuntime:
                     continue
                 if item is None:
                     return
+                start = time.perf_counter()
                 feats = item.features
                 if item.needs_stem:
                     feats = self.model.infer_stem(feats)
@@ -261,9 +278,26 @@ class StagedInferenceRuntime:
                 probs = F.softmax_infer(logits, axis=-1)
                 predictions = probs.argmax(axis=-1)
                 confidences = probs.max(axis=-1)
+                if tel is not None:
+                    elapsed_ms = 1e3 * (time.perf_counter() - start)
+                    tel.registry.histogram(
+                        f"runtime.stage_latency_ms.stage{item.stage}"
+                    ).observe(elapsed_ms)
+                    tel.registry.histogram("runtime.stage_latency_ms.all").observe(
+                        elapsed_ms
+                    )
                 result_queue.put(
                     (item.task_ids, item.stage, predictions, confidences, new_features)
                 )
+
+        def evict_task(record: TaskRecord, now: float) -> None:
+            """Mark one task deadline-evicted; trace it.  Lock held."""
+            record.evicted = True
+            record.finish_time = now
+            if tel is not None:
+                tel.registry.counter("runtime.deadline_misses").inc()
+                tel.trace.deadline_miss(now, record.task_id, deadline=record.deadline)
+                tel.trace.evict(now, record.task_id, stages_done=record.stages_done)
 
         def daemon_loop() -> None:
             """The latency-constraint daemon of Section III."""
@@ -272,8 +306,7 @@ class StagedInferenceRuntime:
                 with lock:
                     for record in records.values():
                         if not record.done and now > record.deadline:
-                            record.evicted = True
-                            record.finish_time = now
+                            evict_task(record, now)
                 time.sleep(cfg.daemon_interval)
 
         workers = [
@@ -291,7 +324,7 @@ class StagedInferenceRuntime:
         # Undersized batch waiting out the drain window: (tids, stage, t_formed).
         pending: Optional[Tuple[List[int], int, float]] = None
 
-        def dispatch(batch: Sequence[int], stage: int) -> None:
+        def dispatch(batch: Sequence[int], stage: int, now: float) -> None:
             """Hand a formed micro-batch to the worker pool.  Lock held."""
             nonlocal items_in_flight
             tids = tuple(batch)
@@ -305,7 +338,38 @@ class StagedInferenceRuntime:
                 in_flight[tid] = stage
             items_in_flight += 1
             self.batch_log.append((stage, tids))
+            if tel is not None:
+                tel.registry.histogram("runtime.batch_occupancy", lo=0.5).observe(
+                    len(tids)
+                )
+                queue_depth = sum(
+                    1
+                    for r in records.values()
+                    if not r.done and r.task_id not in in_flight
+                )
+                tel.registry.gauge("runtime.queue_depth").set(queue_depth)
+                tel.registry.histogram("runtime.queue_depth", lo=0.5).observe(
+                    queue_depth
+                )
+                tel.trace.stage_dispatch(now, stage, tids)
             work_queue.put(_WorkItem(tids, stage, feats, needs_stem))
+
+        def drop_overdue(batch: Sequence[int], now: float) -> List[int]:
+            """Deadline re-check at dispatch time.  Lock held.
+
+            The eviction daemon only samples every ``daemon_interval``; a
+            task whose deadline passed while a drain-window hold (or a
+            worker queue) delayed it must not be dispatched in the gap —
+            it is evicted here, exactly as the daemon would have.
+            """
+            live: List[int] = []
+            for tid in batch:
+                record = records[tid]
+                if now > record.deadline:
+                    evict_task(record, now)
+                else:
+                    live.append(tid)
+            return live
 
         def next_batch(now: float) -> Tuple[List[int], Optional[int]]:
             """Form the next micro-batch, replanning as needed.
@@ -387,13 +451,20 @@ class StagedInferenceRuntime:
                     expired = (now - formed_at) >= cfg.drain_window
                     if len(batch) >= cfg.max_batch or expired or items_in_flight == 0:
                         pending = None
-                        dispatch(batch, stage)
+                        # The hold may have outlived a deadline the daemon
+                        # has not noticed yet: evict, never dispatch.
+                        batch = drop_overdue(batch, now)
+                        if batch:
+                            dispatch(batch, stage, now)
                         continue
                     pending = (batch, stage, formed_at)
                     return
                 batch, stage = next_batch(now)
                 if not batch:
                     return
+                batch = drop_overdue(batch, now)
+                if not batch:
+                    continue
                 if (
                     len(batch) < cfg.max_batch
                     and cfg.drain_window > 0
@@ -402,7 +473,7 @@ class StagedInferenceRuntime:
                     # Hold back: in-flight results may yield same-stage work.
                     pending = (batch, stage, now)
                     return
-                dispatch(batch, stage)
+                dispatch(batch, stage, now)
 
         try:
             with lock:
@@ -434,6 +505,12 @@ class StagedInferenceRuntime:
                         record = records[tid]
                         if record.evicted:
                             continue
+                        if now > record.deadline:
+                            # The stage finished after the latency constraint
+                            # expired (the daemon may not have sampled yet):
+                            # the result is discarded, as the simulator does.
+                            evict_task(record, now)
+                            continue
                         record.outcomes.append(
                             StageOutcome(
                                 stage=stage,
@@ -444,6 +521,11 @@ class StagedInferenceRuntime:
                         features[tid] = new_features[i : i + 1].copy()
                         if record.complete:
                             record.finish_time = now
+                            if tel is not None:
+                                tel.registry.counter("runtime.tasks_completed").inc()
+                                tel.trace.complete(
+                                    now, tid, stages_done=record.stages_done
+                                )
                     refill(now)
         finally:
             stop.set()

@@ -20,11 +20,13 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from .policies import PlanItem, SchedulingPolicy
 from .task import StageOutcome, TaskRecord
 
@@ -232,10 +234,12 @@ class PoolSimulator:
     def run(self) -> EpisodeResult:
         cfg = self.config
         failure_rng = np.random.default_rng(cfg.failure_seed)
+        tel = telemetry.active()
         records: Dict[int, TaskRecord] = {}
-        backlog = list(range(len(self.oracles)))
         active: Dict[int, TaskRecord] = {}
-        timeline: List[PlanItem] = []
+        # Admission order pops from the front for every admitted task, so the
+        # backlog is a deque — list.pop(0) here was O(n) per admission.
+        timeline: Deque[PlanItem] = deque()
         busy_time = 0.0
         makespan = 0.0
         counter = itertools.count()
@@ -244,8 +248,16 @@ class PoolSimulator:
         def arrival_of(tid: int) -> float:
             return self.arrival_times[tid] if self.arrival_times is not None else 0.0
 
+        order = list(range(len(self.oracles)))
         if self.arrival_times is not None:
-            backlog.sort(key=lambda tid: (arrival_of(tid), tid))
+            order.sort(key=lambda tid: (arrival_of(tid), tid))
+        backlog: Deque[int] = deque(order)
+
+        if tel is not None:
+            tel.registry.counter("simulator.tasks_submitted").inc(len(self.oracles))
+            tel.registry.counter("simulator.tasks_completed")
+            tel.registry.counter("simulator.deadline_misses")
+            tel.registry.counter("simulator.utility_accrued")
 
         def admit(now: float) -> None:
             while (
@@ -253,7 +265,7 @@ class PoolSimulator:
                 and len(active) < cfg.concurrency
                 and arrival_of(backlog[0]) <= now + 1e-12
             ):
-                tid = backlog.pop(0)
+                tid = backlog.popleft()
                 constraint = (
                     self.task_latency_constraints[tid]
                     if self.task_latency_constraints is not None
@@ -275,8 +287,13 @@ class PoolSimulator:
                     # The latency constraint expired while the task queued.
                     record.evicted = True
                     record.finish_time = record.deadline
+                    if tel is not None:
+                        tel.registry.counter("simulator.deadline_misses").inc()
+                        tel.trace.deadline_miss(now, tid, deadline=record.deadline)
                     continue
                 active[tid] = record
+                if tel is not None:
+                    tel.trace.admit(now, tid, deadline=record.deadline)
                 heapq.heappush(
                     events, (record.deadline, _DEADLINE, next(counter), (tid,))
                 )
@@ -287,6 +304,14 @@ class PoolSimulator:
                 return
             record.evicted = evicted
             record.finish_time = now
+            if tel is not None:
+                if evicted:
+                    tel.registry.counter("simulator.deadline_misses").inc()
+                    tel.trace.deadline_miss(now, tid, deadline=record.deadline)
+                    tel.trace.evict(now, tid, stages_done=record.stages_done)
+                else:
+                    tel.registry.counter("simulator.tasks_completed").inc()
+                    tel.trace.complete(now, tid, stages_done=record.stages_done)
             admit(now)
 
         in_flight: set = set()  # task ids with a stage currently executing
@@ -301,7 +326,7 @@ class PoolSimulator:
             nonlocal timeline
             for attempt in range(2):
                 while timeline:
-                    tid, stage = timeline.pop(0)
+                    tid, stage = timeline.popleft()
                     record = active.get(tid)
                     if record is None or record.done or tid in in_flight:
                         continue
@@ -317,7 +342,7 @@ class PoolSimulator:
                         for r in active.values()
                         if not r.done and r.task_id not in in_flight
                     ]
-                    timeline = list(self.policy.plan(views, now))
+                    timeline = deque(self.policy.plan(views, now))
                     if not timeline:
                         return None
             return None
@@ -367,6 +392,7 @@ class PoolSimulator:
                     pass  # time was spent, no result; task stays schedulable
                 elif not record.evicted and now <= record.deadline + 1e-12:
                     oracle = self.oracles[tid]
+                    previous_conf = record.latest_confidence or 0.0
                     record.outcomes.append(
                         StageOutcome(
                             stage=stage,
@@ -375,6 +401,12 @@ class PoolSimulator:
                             correct=oracle.correct[stage],
                         )
                     )
+                    if tel is not None:
+                        # Utility = confidence gain of the executed stage
+                        # (the paper's service-utility objective).
+                        gain = oracle.confidences[stage] - previous_conf
+                        if gain > 0:
+                            tel.registry.counter("simulator.utility_accrued").inc(gain)
                     if record.complete:
                         retire(tid, now, evicted=False)
                 dispatch(now)
@@ -412,6 +444,9 @@ class PoolSimulator:
             record.evicted = True
             record.finish_time = record.deadline
             records[tid] = record
+            if tel is not None:
+                tel.registry.counter("simulator.deadline_misses").inc()
+                tel.trace.deadline_miss(record.deadline, tid, deadline=record.deadline)
 
         ordered = [records[tid] for tid in sorted(records)]
         return EpisodeResult(

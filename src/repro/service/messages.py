@@ -150,6 +150,11 @@ class InferRequest:
             raise ValueError("max_batch must be >= 1")
         if self.drain_window_s < 0:
             raise ValueError("drain_window_s must be non-negative")
+        if self.drain_window_s > 0 and self.max_batch <= 1:
+            raise ValueError(
+                "drain_window_s > 0 requires max_batch > 1: a single-task "
+                "batch can never grow, so holding it back only adds latency"
+            )
 
 
 @dataclass
@@ -158,6 +163,10 @@ class InferResponse:
     confidences: List[Optional[float]]
     stages_executed: List[int]
     evicted: List[bool]
+    #: telemetry summary (stage latency quantiles, batch occupancy,
+    #: deadline misses, per-endpoint request counts); ``None`` unless
+    #: :mod:`repro.telemetry` is enabled.
+    metrics: Optional[Dict[str, object]] = None
 
 
 @dataclass
@@ -215,6 +224,8 @@ class ClassifyRequest:
 class ClassifyResponse:
     predictions: np.ndarray
     confidences: np.ndarray
+    #: telemetry summary; ``None`` unless :mod:`repro.telemetry` is enabled.
+    metrics: Optional[Dict[str, object]] = None
 
 
 @dataclass

@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
 from scipy.stats import norm
 
+from .. import telemetry
 from ..calibration.entropy_reg import EntropyCalibrator
 from ..calibration.rdeepsense import fit_gaussian_regressor, interval_coverage
 from ..compression.pruning import shrink_staged_resnet
@@ -53,6 +54,36 @@ from .messages import (
 from .model_registry import ModelRegistry
 
 
+def _serving_metrics(**extra: object) -> Optional[Dict[str, object]]:
+    """Summary attached to serving responses when telemetry is enabled.
+
+    ``None`` (and no registry reads at all) when telemetry is off, so the
+    fast path stays untouched.  The histogram/counter summaries are
+    cumulative over the telemetry session — per-request numbers come from
+    the ``extra`` fields the endpoint computed for this call.
+    """
+    tel = telemetry.active()
+    if tel is None:
+        return None
+    snapshot = tel.registry.snapshot()
+    metrics: Dict[str, object] = {
+        "stage_latency_ms": {
+            name.rsplit(".", 1)[-1]: summary
+            for name, summary in snapshot["histograms"].items()
+            if name.startswith("runtime.stage_latency_ms.")
+        },
+        "batch_occupancy": snapshot["histograms"].get("runtime.batch_occupancy"),
+        "deadline_misses": snapshot["counters"].get("runtime.deadline_misses", 0.0),
+        "requests": {
+            name.rsplit(".", 1)[-1]: value
+            for name, value in snapshot["counters"].items()
+            if name.startswith("service.requests.")
+        },
+    }
+    metrics.update(extra)
+    return metrics
+
+
 class EugeneService:
     """In-process implementation of the Eugene service endpoints.
 
@@ -72,6 +103,7 @@ class EugeneService:
     # ------------------------------------------------------------------
     # Training (Sec. II-A)
     # ------------------------------------------------------------------
+    @telemetry.timed("train")
     def train(self, request: TrainRequest) -> TrainResponse:
         """Train a staged model on client data; fit its confidence curves."""
         config = request.model_config or StagedResNetConfig(
@@ -107,6 +139,7 @@ class EugeneService:
             stage_accuracies=tuple(float(a) for a in accuracies),
         )
 
+    @telemetry.timed("train_deepsense")
     def train_deepsense(self, request: DeepSenseTrainRequest) -> DeepSenseTrainResponse:
         """Train the DeepSense sensor-fusion architecture on time series."""
         inputs = np.asarray(request.inputs, dtype=np.float64)
@@ -140,6 +173,7 @@ class EugeneService:
             steps=request.steps,
         )
 
+    @telemetry.timed("classify")
     def classify(self, request: ClassifyRequest) -> ClassifyResponse:
         """Single-shot classification by any registered classifier model."""
         entry = self.registry.get(request.model_id)
@@ -155,19 +189,25 @@ class EugeneService:
         size = request.micro_batch
         if size is None or size >= len(inputs):
             probs = final_probs(inputs)
+            num_chunks = 1
         else:
             probs = np.concatenate(
                 [final_probs(inputs[i : i + size]) for i in range(0, len(inputs), size)],
                 axis=0,
             )
+            num_chunks = -(-len(inputs) // size)
         return ClassifyResponse(
             predictions=probs.argmax(axis=-1),
             confidences=probs.max(axis=-1),
+            metrics=_serving_metrics(
+                num_inputs=len(inputs), num_chunks=num_chunks
+            ),
         )
 
     # ------------------------------------------------------------------
     # Labeling (Sec. II-A)
     # ------------------------------------------------------------------
+    @telemetry.timed("label")
     def label(self, request: LabelRequest) -> LabelResponse:
         labeled = Dataset(request.labeled_inputs, request.labeled_targets)
         if request.method == "sensegan":
@@ -190,6 +230,7 @@ class EugeneService:
     # ------------------------------------------------------------------
     # Model reduction (Sec. II-B)
     # ------------------------------------------------------------------
+    @telemetry.timed("reduce")
     def reduce(self, request: ReduceRequest) -> ReduceResponse:
         entry = self.registry.get(request.model_id)
         if entry.train_set is None:
@@ -226,6 +267,7 @@ class EugeneService:
     # ------------------------------------------------------------------
     # Profiling (Sec. II-C)
     # ------------------------------------------------------------------
+    @telemetry.timed("profile")
     def profile(self, request: ProfileRequest) -> ProfileResponse:
         entry = self.registry.get(request.model_id)
         times = stage_execution_times(
@@ -238,6 +280,7 @@ class EugeneService:
     # ------------------------------------------------------------------
     # Result-quality calibration (Sec. II-D / III-A)
     # ------------------------------------------------------------------
+    @telemetry.timed("calibrate")
     def calibrate(self, request: CalibrateRequest) -> CalibrateResponse:
         entry = self.registry.get(request.model_id)
         calibrator = EntropyCalibrator(epochs=request.epochs, seed=self.seed)
@@ -259,6 +302,7 @@ class EugeneService:
     # ------------------------------------------------------------------
     # Estimation service (Sec. II: the continuous-output task family)
     # ------------------------------------------------------------------
+    @telemetry.timed("train_estimator")
     def train_estimator(self, request: EstimatorTrainRequest) -> EstimatorTrainResponse:
         """Train a Gaussian regressor under the RDeepSense weighted loss."""
         x = np.asarray(request.inputs, dtype=np.float64).reshape(len(request.inputs), -1)
@@ -278,6 +322,7 @@ class EugeneService:
             coverage_90=interval_coverage(mean, std, y, 0.9),
         )
 
+    @telemetry.timed("estimate")
     def estimate(self, request: EstimateRequest) -> EstimateResponse:
         """Point estimates + predictive intervals from a trained estimator."""
         entry = self.registry.get(request.model_id)
@@ -300,6 +345,7 @@ class EugeneService:
     # ------------------------------------------------------------------
     # Run-time inference (Sec. II-E / III)
     # ------------------------------------------------------------------
+    @telemetry.timed("infer")
     def infer(self, request: InferRequest) -> InferResponse:
         entry = self.registry.get(request.model_id)
         if entry.predictor is None:
@@ -324,4 +370,9 @@ class EugeneService:
             confidences=[r.confidence for r in results],
             stages_executed=[len(r.outcomes) for r in results],
             evicted=[r.evicted for r in results],
+            metrics=_serving_metrics(
+                num_tasks=len(results),
+                num_evicted=sum(1 for r in results if r.evicted),
+                batch_sizes=[len(tids) for _, tids in runtime.batch_log],
+            ),
         )

@@ -1,0 +1,248 @@
+"""Metric instruments: counters, gauges and streaming histograms.
+
+The serving paths of this repo are measured by three instrument kinds,
+mirroring what production inference services (IBM DLaaS, DeepServe — see
+PAPERS.md) expose per request:
+
+- :class:`Counter` — monotone accumulator (requests served, deadline
+  misses, utility accrued).  Float increments are allowed so confidence
+  utility can accrue directly.
+- :class:`Gauge` — last-written value (current queue depth).
+- :class:`Histogram` — streaming quantile sketch over log-spaced buckets:
+  p50/p95/p99 (any quantile, in fact) without storing samples, with
+  relative error bounded by the bucket growth factor (~5% by default).
+
+Everything is dependency-free and thread-safe: worker threads in
+:class:`~repro.scheduler.runtime.StagedInferenceRuntime` observe stage
+latencies concurrently with the scheduler thread updating queue gauges.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional, Tuple
+
+
+class Counter:
+    """Monotonically increasing accumulator (float-valued)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge instead")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Last-written value (may move in either direction)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Streaming quantile estimator over geometric buckets.
+
+    Values are binned into buckets ``[lo * g^i, lo * g^(i+1))``; a quantile
+    is answered by walking the cumulative bucket counts and interpolating
+    linearly inside the target bucket, then clamping to the exact observed
+    ``[min, max]``.  Memory is O(occupied buckets), never O(samples), and
+    the relative error of any quantile is at most ``growth - 1``.
+
+    Values at or below zero land in a dedicated underflow bucket (latency
+    instruments never produce them, but the sketch must not crash on a
+    zero-duration timer tick).
+    """
+
+    __slots__ = (
+        "name", "_lo", "_log_growth", "_growth", "_buckets", "_underflow",
+        "_count", "_sum", "_min", "_max", "_lock",
+    )
+
+    def __init__(self, name: str, lo: float = 1e-6, growth: float = 1.05) -> None:
+        if lo <= 0:
+            raise ValueError("lo must be positive")
+        if growth <= 1.0:
+            raise ValueError("growth must be > 1")
+        self.name = name
+        self._lo = lo
+        self._growth = growth
+        self._log_growth = math.log(growth)
+        self._buckets: Dict[int, int] = {}
+        self._underflow = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            if value <= self._lo:
+                self._underflow += 1
+                return
+            index = int(math.log(value / self._lo) / self._log_growth)
+            self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        with self._lock:
+            return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        with self._lock:
+            return self._max if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile of everything observed so far."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            rank = q * self._count
+            cumulative = float(self._underflow)
+            if cumulative >= rank and self._underflow:
+                return min(self._lo, self._max)
+            for index in sorted(self._buckets):
+                n = self._buckets[index]
+                if cumulative + n >= rank:
+                    lower = self._lo * self._growth ** index
+                    upper = lower * self._growth
+                    fraction = (rank - cumulative) / n
+                    estimate = lower + fraction * (upper - lower)
+                    return max(self._min, min(self._max, estimate))
+                cumulative += n
+            return self._max
+
+    def percentiles(self, ps: Tuple[float, ...] = (50.0, 95.0, 99.0)) -> Dict[str, float]:
+        return {f"p{p:g}": self.quantile(p / 100.0) for p in ps}
+
+    def summary(self) -> Dict[str, float]:
+        """count/sum/mean/min/max plus the standard latency quantiles."""
+        out: Dict[str, float] = {
+            "count": float(self.count),
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+        out.update(self.percentiles())
+        return out
+
+
+class MetricsRegistry:
+    """Thread-safe get-or-create home of every named instrument."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(self, name: str, lo: float = 1e-6, growth: float = 1.05) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name, lo=lo, growth=growth)
+            return instrument
+
+    # -- read side -----------------------------------------------------
+    def counters(self) -> Dict[str, float]:
+        with self._lock:
+            items = list(self._counters.items())
+        return {name: c.value for name, c in sorted(items)}
+
+    def gauges(self) -> Dict[str, float]:
+        with self._lock:
+            items = list(self._gauges.items())
+        return {name: g.value for name, g in sorted(items)}
+
+    def histograms(self) -> Dict[str, Dict[str, float]]:
+        with self._lock:
+            items = list(self._histograms.items())
+        return {name: h.summary() for name, h in sorted(items)}
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """One nested dict of everything — the export formats build on this."""
+        return {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "histograms": self.histograms(),
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

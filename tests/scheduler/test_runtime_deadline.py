@@ -1,0 +1,143 @@
+"""Dispatch-time deadline enforcement and RuntimeConfig validation.
+
+The eviction daemon only samples every ``daemon_interval`` seconds, so a
+task whose deadline passed while a batch was held back (drain window) or
+while it waited in the timeline used to slip through and execute another
+stage.  The scheduler now re-checks deadlines at dispatch time: these
+tests run with the daemon effectively disabled (a huge interval) so any
+eviction observed *must* come from the dispatch-time re-check.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.nn.resnet import StagedResNet, StagedResNetConfig
+from repro.scheduler.policies import FIFOPolicy, RoundRobinPolicy
+from repro.scheduler.runtime import RuntimeConfig, StagedInferenceRuntime
+from repro.service.messages import InferRequest
+from repro.telemetry.trace import DEADLINE_MISS, STAGE_DISPATCH
+
+
+@pytest.fixture(scope="module")
+def small_model():
+    # Heavy enough (16x16 inputs, 8/16 channels) that a backlog of tasks
+    # reliably overruns the tight constraints below on this hardware.
+    model = StagedResNet(
+        StagedResNetConfig(
+            num_classes=5, image_size=16, stage_channels=(8, 16), blocks_per_stage=1
+        )
+    )
+    model.eval()
+    # Warm the no-grad scratch buffers so timing tests see steady state.
+    model.predict_proba(np.zeros((2, 3, 16, 16)))
+    return model
+
+
+class TestRuntimeConfigValidation:
+    def test_drain_window_without_batching_rejected(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            RuntimeConfig(max_batch=1, drain_window=0.01)
+
+    def test_drain_window_with_batching_accepted(self):
+        config = RuntimeConfig(max_batch=4, drain_window=0.01)
+        assert config.drain_window == 0.01
+
+    def test_zero_drain_window_unbatched_accepted(self):
+        assert RuntimeConfig(max_batch=1, drain_window=0.0).max_batch == 1
+
+    def test_infer_request_mirrors_the_rule(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            InferRequest(
+                model_id="m",
+                inputs=np.zeros((1, 3, 8, 8)),
+                max_batch=1,
+                drain_window_s=0.5,
+            )
+
+    def test_infer_request_valid_combination(self):
+        request = InferRequest(
+            model_id="m",
+            inputs=np.zeros((1, 3, 8, 8)),
+            max_batch=4,
+            drain_window_s=0.5,
+        )
+        assert request.drain_window_s == 0.5
+
+
+class TestDispatchTimeDeadlineCheck:
+    def test_overdue_tasks_evicted_not_dispatched(self, small_model):
+        """With the daemon asleep, expired tasks must still be evicted."""
+        inputs = np.random.default_rng(1).normal(size=(48, 3, 16, 16))
+        runtime = StagedInferenceRuntime(
+            small_model,
+            FIFOPolicy(),
+            RuntimeConfig(
+                num_workers=1,
+                latency_constraint=0.03,
+                daemon_interval=30.0,  # daemon never fires during the run
+            ),
+        )
+        runtime.submit(inputs)
+        results = runtime.run_until_complete()
+        # 48 tasks x 2 stages on one worker far exceeds 30ms: the
+        # dispatch-time re-check must have evicted the tail of the queue.
+        assert any(r.evicted for r in results)
+        # An evicted task was cut short; a surviving one ran every stage.
+        for r in results:
+            if not r.evicted:
+                assert len(r.outcomes) == small_model.num_stages
+
+    def test_no_dispatch_after_deadline_with_drain_window(self, small_model):
+        """Trace invariant: every dispatched batch member was within its
+        deadline at dispatch time, even across drain-window holds."""
+        inputs = np.random.default_rng(2).normal(size=(96, 3, 16, 16))
+        constraint = 0.03
+        with telemetry.session() as t:
+            runtime = StagedInferenceRuntime(
+                small_model,
+                RoundRobinPolicy(),
+                RuntimeConfig(
+                    num_workers=2,
+                    latency_constraint=constraint,
+                    daemon_interval=30.0,
+                    max_batch=4,
+                    drain_window=0.02,
+                ),
+            )
+            runtime.submit(inputs)
+            results = runtime.run_until_complete()
+            dispatches = t.trace.events(STAGE_DISPATCH)
+            assert dispatches, "nothing was ever dispatched"
+            for event in dispatches:
+                assert event.t <= constraint + 1e-9, (
+                    f"batch {event.task_ids} dispatched at {event.t:.4f}s, "
+                    f"after the {constraint}s deadline"
+                )
+            # The workload overruns the constraint, so misses were traced.
+            assert any(r.evicted for r in results)
+            misses = t.trace.events(DEADLINE_MISS)
+            assert {e.task_id for e in misses} == {
+                r.task_id for r in results if r.evicted
+            }
+            assert t.registry.counters()["runtime.deadline_misses"] == len(
+                {e.task_id for e in misses}
+            )
+
+    def test_comfortable_deadline_unaffected(self, small_model):
+        """The re-check must not evict anything when deadlines are loose."""
+        inputs = np.random.default_rng(3).normal(size=(6, 3, 16, 16))
+        runtime = StagedInferenceRuntime(
+            small_model,
+            RoundRobinPolicy(),
+            RuntimeConfig(
+                num_workers=2,
+                latency_constraint=60.0,
+                max_batch=3,
+                drain_window=0.01,
+            ),
+        )
+        runtime.submit(inputs)
+        results = runtime.run_until_complete()
+        assert all(not r.evicted for r in results)
+        assert all(len(r.outcomes) == small_model.num_stages for r in results)

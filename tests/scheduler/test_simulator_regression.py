@@ -1,0 +1,92 @@
+"""Pinned-result regression tests for the simulator's deque hot loops.
+
+The backlog and timeline used ``list.pop(0)`` — O(n) per admission /
+work item — and were replaced with ``collections.deque.popleft()``.  The
+numbers below were produced by the pre-change implementation (captured
+verbatim from the seed revision); the deque version must reproduce them
+exactly, proving the fix is a pure data-structure swap with no behaviour
+change.
+"""
+
+import numpy as np
+import pytest
+
+from repro.scheduler.policies import FIFOPolicy, RoundRobinPolicy
+from repro.scheduler.simulator import PoolSimulator, SimulationConfig, TaskOracle
+
+
+def _make_oracles(rng, n, stages=3):
+    oracles = []
+    for _ in range(n):
+        confs = np.sort(rng.uniform(0.3, 0.99, size=stages))
+        preds = rng.integers(0, 5, size=stages)
+        correct = rng.random(size=stages) < confs
+        oracles.append(
+            TaskOracle(
+                confidences=tuple(float(c) for c in confs),
+                predictions=tuple(int(p) for p in preds),
+                correct=tuple(bool(c) for c in correct),
+            )
+        )
+    return oracles
+
+
+class TestSimulatorResultsUnchangedByDequeSwap:
+    """Expected values captured from the list.pop(0) implementation."""
+
+    def test_closed_loop_episode_pinned(self):
+        rng = np.random.default_rng(7)
+        oracles = _make_oracles(rng, 24)
+        config = SimulationConfig(
+            num_workers=3,
+            concurrency=6,
+            stage_times=(1.0, 1.5, 0.5),
+            latency_constraint=5.0,
+            stage_failure_prob=0.1,
+            failure_seed=3,
+        )
+        result = PoolSimulator(oracles, RoundRobinPolicy(), config).run()
+        assert result.accuracy == pytest.approx(0.5833333333333334)
+        assert result.makespan == pytest.approx(20.0)
+        assert result.busy_time == pytest.approx(60.0)
+        assert result.num_evicted == 15
+        assert result.num_fully_completed == 9
+        assert list(result.stages_executed) == [
+            1, 3, 3, 2, 1, 2, 1, 2, 2, 2, 2, 2, 1, 3, 1, 3, 3, 1, 3, 3, 3, 3, 2, 1,
+        ]
+        assert result.mean_final_confidence == pytest.approx(
+            0.669285122987, abs=1e-9
+        )
+
+    def test_open_loop_episode_pinned(self):
+        # Exact RNG consumption order of the capture run: 24 oracles, then
+        # arrivals, then constraints, then the 24 oracles actually used.
+        rng = np.random.default_rng(7)
+        _make_oracles(rng, 24)
+        arrivals = [float(a) for a in np.round(rng.uniform(0, 12, size=24), 3)]
+        constraints = [float(c) for c in np.round(rng.uniform(2.0, 6.0, size=24), 3)]
+        oracles = _make_oracles(rng, 24)
+        config = SimulationConfig(
+            num_workers=2,
+            concurrency=4,
+            stage_times=(1.0, 1.0, 1.0),
+            latency_constraint=4.0,
+        )
+        result = PoolSimulator(
+            oracles,
+            FIFOPolicy(),
+            config,
+            task_latency_constraints=constraints,
+            arrival_times=arrivals,
+        ).run()
+        assert result.accuracy == pytest.approx(0.125)
+        assert result.makespan == pytest.approx(16.404)
+        assert result.busy_time == pytest.approx(20.0)
+        assert result.num_evicted == 20
+        assert result.num_fully_completed == 4
+        assert list(result.stages_executed) == [
+            1, 0, 1, 3, 0, 0, 0, 3, 0, 0, 2, 0, 2, 1, 0, 0, 3, 0, 0, 3, 0, 0, 1, 0,
+        ]
+        assert result.mean_final_confidence == pytest.approx(
+            0.617495992775, abs=1e-9
+        )

@@ -1,0 +1,185 @@
+"""Unit tests for the metric instruments and the registry."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("c")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_thread_safety_under_concurrent_increments(self):
+        c = Counter("c")
+        threads = [
+            threading.Thread(target=lambda: [c.inc() for _ in range(2000)])
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8 * 2000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("g")
+        g.set(5)
+        g.inc(2)
+        g.dec(3)
+        assert g.value == 4.0
+
+    def test_thread_safety_under_concurrent_updates(self):
+        g = Gauge("g")
+
+        def bump():
+            for _ in range(2000):
+                g.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert g.value == 8 * 2000
+
+
+class TestHistogram:
+    @pytest.mark.parametrize(
+        "samples",
+        [
+            np.random.default_rng(0).lognormal(0.0, 1.0, size=5000),
+            np.random.default_rng(1).uniform(0.5, 100.0, size=5000),
+            np.random.default_rng(2).exponential(10.0, size=5000),
+        ],
+        ids=["lognormal", "uniform", "exponential"],
+    )
+    def test_quantiles_match_numpy_percentiles(self, samples):
+        """Relative error of any quantile is bounded by the bucket growth."""
+        h = Histogram("latency")
+        for v in samples:
+            h.observe(v)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            expected = float(np.percentile(samples, 100 * q))
+            assert h.quantile(q) == pytest.approx(expected, rel=0.06)
+
+    def test_count_sum_mean_min_max_exact(self):
+        values = [3.0, 1.0, 4.0, 1.5, 9.0]
+        h = Histogram("h")
+        for v in values:
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == pytest.approx(sum(values))
+        assert h.mean == pytest.approx(np.mean(values))
+        assert h.min == 1.0
+        assert h.max == 9.0
+
+    def test_empty_histogram(self):
+        h = Histogram("h")
+        assert h.count == 0
+        assert h.quantile(0.5) == 0.0
+        assert h.summary()["p99"] == 0.0
+
+    def test_quantile_clamped_to_observed_range(self):
+        h = Histogram("h")
+        h.observe(7.0)
+        for q in (0.0, 0.5, 1.0):
+            assert h.quantile(q) == pytest.approx(7.0)
+
+    def test_handles_zero_and_negative_values(self):
+        h = Histogram("h")
+        h.observe(0.0)
+        h.observe(-1.0)
+        h.observe(5.0)
+        assert h.count == 3
+        assert h.min == -1.0
+        assert h.quantile(0.99) <= 5.0
+
+    def test_quantile_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+    def test_memory_is_bucket_bounded(self):
+        """10k observations over 6 decades occupy O(buckets), not O(n)."""
+        h = Histogram("h")
+        for v in np.random.default_rng(0).lognormal(2.0, 2.0, size=10000):
+            h.observe(v)
+        assert len(h._buckets) < 600
+
+    def test_thread_safe_observe(self):
+        h = Histogram("h")
+
+        def observe_many(seed):
+            rng = np.random.default_rng(seed)
+            for v in rng.uniform(1.0, 10.0, size=1000):
+                h.observe(v)
+
+        threads = [threading.Thread(target=observe_many, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == 6000
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Histogram("h", lo=0.0)
+        with pytest.raises(ValueError):
+            Histogram("h", growth=1.0)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("requests").inc(3)
+        reg.gauge("depth").set(2)
+        reg.histogram("lat").observe(1.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"requests": 3.0}
+        assert snap["gauges"] == {"depth": 2.0}
+        assert snap["histograms"]["lat"]["count"] == 1.0
+        assert {"p50", "p95", "p99"} <= set(snap["histograms"]["lat"])
+
+    def test_snapshot_sorted_by_name(self):
+        reg = MetricsRegistry()
+        for name in ("zeta", "alpha", "mid"):
+            reg.counter(name).inc()
+        assert list(reg.counters()) == ["alpha", "mid", "zeta"]
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_concurrent_get_or_create(self):
+        reg = MetricsRegistry()
+        instruments = []
+
+        def create():
+            instruments.append(reg.counter("shared"))
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(c is instruments[0] for c in instruments)

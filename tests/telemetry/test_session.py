@@ -1,0 +1,121 @@
+"""The global session lifecycle, the timed decorator, and export formats."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def clean_global_session():
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+class TestSessionLifecycle:
+    def test_disabled_by_default(self):
+        assert telemetry.active() is None
+        assert not telemetry.enabled()
+
+    def test_enable_disable(self):
+        session = telemetry.enable()
+        assert telemetry.active() is session
+        assert telemetry.enabled()
+        telemetry.disable()
+        assert telemetry.active() is None
+
+    def test_enable_is_idempotent(self):
+        assert telemetry.enable() is telemetry.enable()
+
+    def test_session_context_restores_previous_state(self):
+        outer = telemetry.enable()
+        with telemetry.session() as inner:
+            assert telemetry.active() is inner
+            assert inner is not outer
+        assert telemetry.active() is outer
+
+    def test_session_context_restores_disabled_state(self):
+        with telemetry.session():
+            assert telemetry.enabled()
+        assert not telemetry.enabled()
+
+
+class TestTimedDecorator:
+    def test_noop_when_disabled(self):
+        @telemetry.timed("thing")
+        def endpoint():
+            return 42
+
+        assert endpoint() == 42
+        # Enabling afterwards shows nothing was recorded.
+        with telemetry.session() as t:
+            assert t.registry.counters() == {}
+
+    def test_records_counter_and_latency(self):
+        @telemetry.timed("thing")
+        def endpoint():
+            return 42
+
+        with telemetry.session() as t:
+            endpoint()
+            endpoint()
+            assert t.registry.counter("service.requests.thing").value == 2
+            hist = t.registry.histogram("service.latency_ms.thing")
+            assert hist.count == 2
+            assert hist.min >= 0.0
+
+    def test_errors_counted_separately_and_reraised(self):
+        @telemetry.timed("thing")
+        def endpoint():
+            raise RuntimeError("boom")
+
+        with telemetry.session() as t:
+            with pytest.raises(RuntimeError):
+                endpoint()
+            counters = t.registry.counters()
+            assert counters["service.errors.thing"] == 1
+            # Counted on entry, so the failed request still shows up.
+            assert counters["service.requests.thing"] == 1
+            assert t.registry.histogram("service.latency_ms.thing").count == 0
+
+
+class TestExport:
+    def _populated(self, t):
+        t.registry.counter("runtime.deadline_misses").inc(2)
+        t.registry.gauge("runtime.queue_depth").set(4)
+        t.registry.histogram("runtime.stage_latency_ms.all").observe(1.5)
+        t.trace.admit(0.0, 0, deadline=1.0)
+        t.trace.deadline_miss(1.2, 0, deadline=1.0)
+
+    def test_render_text_lists_everything(self):
+        with telemetry.session() as t:
+            self._populated(t)
+            text = telemetry.render_text(t)
+        assert "runtime.deadline_misses" in text
+        assert "runtime.queue_depth" in text
+        assert "runtime.stage_latency_ms.all" in text
+        for column in ("p50", "p95", "p99"):
+            assert column in text
+        assert "deadline-miss" in text
+
+    def test_render_text_empty_session(self):
+        with telemetry.session() as t:
+            text = telemetry.render_text(t)
+        assert "(none)" in text
+
+    def test_to_json_round_trips(self):
+        with telemetry.session() as t:
+            self._populated(t)
+            payload = json.loads(telemetry.to_json(t))
+        assert payload["counters"]["runtime.deadline_misses"] == 2
+        assert payload["trace"]["counts"]["deadline-miss"] == 1
+        assert "events" not in payload["trace"]
+
+    def test_to_json_with_events(self):
+        with telemetry.session() as t:
+            self._populated(t)
+            payload = json.loads(telemetry.to_json(t, trace_events=True))
+        events = payload["trace"]["events"]
+        assert [e["kind"] for e in events] == ["admit", "deadline-miss"]

@@ -1,0 +1,112 @@
+"""Unit tests for the typed scheduler trace log."""
+
+import threading
+
+import pytest
+
+from repro.telemetry.trace import (
+    ADMIT,
+    COMPLETE,
+    DEADLINE_MISS,
+    EVICT,
+    STAGE_DISPATCH,
+    TraceEvent,
+    TraceLog,
+)
+
+
+class TestTraceEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEvent(seq=0, t=0.0, kind="teleport")
+
+    def test_to_dict_includes_only_set_fields(self):
+        event = TraceEvent(seq=1, t=0.5, kind=ADMIT, task_id=3)
+        d = event.to_dict()
+        assert d == {"seq": 1, "t": 0.5, "kind": ADMIT, "task_id": 3}
+
+
+class TestTraceLog:
+    def test_typed_helpers_record_their_kinds(self):
+        log = TraceLog()
+        log.admit(0.0, 1, deadline=5.0)
+        log.stage_dispatch(0.1, stage=0, task_ids=(1,))
+        log.complete(0.4, 1, stages_done=3)
+        log.deadline_miss(0.6, 2, deadline=0.5)
+        log.evict(0.6, 2, stages_done=1)
+        kinds = [e.kind for e in log.events()]
+        assert kinds == [ADMIT, STAGE_DISPATCH, COMPLETE, DEADLINE_MISS, EVICT]
+
+    def test_sequence_numbers_give_total_order(self):
+        """Events at identical timestamps (common in the discrete-event
+        simulator) must still be totally ordered by seq, in append order."""
+        log = TraceLog()
+        for tid in range(10):
+            log.admit(1.0, tid, deadline=2.0)
+        events = log.events()
+        assert [e.seq for e in events] == sorted(e.seq for e in events)
+        assert [e.task_id for e in events] == list(range(10))
+
+    def test_ordering_preserved_across_kinds(self):
+        log = TraceLog()
+        log.admit(0.0, 0, deadline=1.0)
+        log.stage_dispatch(0.2, stage=0, task_ids=(0,))
+        log.complete(0.3, 0, stages_done=1)
+        seqs = [e.seq for e in log.events()]
+        assert seqs == [0, 1, 2]
+
+    def test_filter_by_kind(self):
+        log = TraceLog()
+        log.admit(0.0, 0, deadline=1.0)
+        log.admit(0.0, 1, deadline=1.0)
+        log.complete(0.5, 0, stages_done=2)
+        assert len(log.events(ADMIT)) == 2
+        assert len(log.events(COMPLETE)) == 1
+
+    def test_counts(self):
+        log = TraceLog()
+        log.admit(0.0, 0, deadline=1.0)
+        log.deadline_miss(1.1, 0, deadline=1.0)
+        assert log.counts() == {ADMIT: 1, DEADLINE_MISS: 1}
+
+    def test_bounded_capacity_drops_oldest(self):
+        log = TraceLog(capacity=5)
+        for tid in range(8):
+            log.admit(float(tid), tid, deadline=100.0)
+        assert len(log) == 5
+        assert log.dropped == 3
+        assert [e.task_id for e in log.events()] == [3, 4, 5, 6, 7]
+        # Sequence numbers keep counting across drops.
+        assert [e.seq for e in log.events()] == [3, 4, 5, 6, 7]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TraceLog(capacity=0)
+
+    def test_clear(self):
+        log = TraceLog()
+        log.admit(0.0, 0, deadline=1.0)
+        log.clear()
+        assert len(log) == 0 and log.dropped == 0
+
+    def test_stage_dispatch_records_batch_size(self):
+        log = TraceLog()
+        event = log.stage_dispatch(0.1, stage=2, task_ids=(4, 7, 9))
+        assert event.task_ids == (4, 7, 9)
+        assert event.detail["batch_size"] == 3.0
+
+    def test_concurrent_appends_keep_unique_seq(self):
+        log = TraceLog(capacity=100000)
+
+        def append_many(tid):
+            for _ in range(2000):
+                log.admit(0.0, tid, deadline=1.0)
+
+        threads = [threading.Thread(target=append_many, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        seqs = [e.seq for e in log.events()]
+        assert len(seqs) == 12000
+        assert len(set(seqs)) == 12000
