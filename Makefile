@@ -2,13 +2,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast bench-telemetry examples experiments clean
+.PHONY: install test chaos bench bench-fast bench-telemetry examples experiments clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+chaos:
+	$(PYTHON) -m pytest tests/faults -q
+	$(PYTHON) -m repro.cli chaos --seed 0
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -74,6 +74,25 @@ def telemetry_disabled_guard():
     )
 
 
+@pytest.fixture(scope="session", autouse=True)
+def no_fault_plan_guard():
+    """Benchmarks must measure the disarmed stack: an armed FaultPlan (left
+    over from a chaos run or installed by an experiment helper) would
+    inject latency/crashes into the very numbers being reported, so fail
+    loudly before and after the session instead.
+    """
+    from repro import faults
+
+    assert faults.active() is None, (
+        "a FaultPlan is armed; benchmarks must run with fault injection "
+        "disabled (call repro.faults.uninstall() first)"
+    )
+    yield
+    assert faults.active() is None, (
+        "a benchmark left a FaultPlan armed"
+    )
+
+
 @pytest.fixture(scope="session")
 def artifacts():
     """The trained + calibrated benchmark model and its outputs."""

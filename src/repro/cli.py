@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli table2 table3 fig2
     python -m repro.cli all
     python -m repro.cli metrics [--json] [--events]
+    python -m repro.cli chaos [--json] [--seed N]
 
 The first run of the model-backed experiments trains the benchmark model
 (~4 minutes) and caches it under ``.bench_cache/``.
@@ -17,6 +18,13 @@ deadline-constrained episode) with :mod:`repro.telemetry` enabled and
 prints the telemetry export — per-stage latency p50/p95/p99, batch
 occupancy, deadline misses, per-endpoint request counts and the scheduler
 trace tally.
+
+``chaos`` drives the same serving stack under a seeded
+:class:`repro.faults.FaultPlan` (worker crashes, latency spikes, dropped
+results, transient endpoint errors) and prints the fault log, the
+recovery counters (retries, respawns, re-dispatches, degraded responses)
+and the invariant checks the chaos test suite asserts.  The same seed
+always produces the same fault sequence.
 """
 
 from __future__ import annotations
@@ -191,6 +199,155 @@ def _metrics_main(argv) -> int:
     return 0
 
 
+def run_chaos_workload(seed: int = 0, episodes: int = 4):
+    """Scripted chaos workload: serving traffic under a seeded fault plan.
+
+    Trains a tiny staged model, arms a :class:`repro.faults.FaultPlan`
+    derived from ``seed`` (worker crashes/hangs/latency at the runtime
+    stage site, dispatch latency, transient errors at the service and
+    client infer/classify sites), then drives ``episodes`` rounds of
+    client→service→runtime traffic.  Every failure surfaced to the caller
+    must be one of the typed resilience errors — anything else is an
+    invariant violation.
+
+    Returns ``(session, plan, report)``: the telemetry session, the armed
+    plan (with its fault log), and a summary dict of workload outcomes.
+    The caller owns the session (``telemetry.disable()`` when done).
+    """
+    from . import faults, telemetry
+    from .datasets import SyntheticImageConfig, make_image_dataset
+    from .nn.resnet import StagedResNetConfig
+    from .service import EugeneService
+    from .service.client import EugeneClient
+
+    session = telemetry.enable()
+    data = make_image_dataset(
+        120, SyntheticImageConfig(num_classes=3, image_size=8, seed=3), seed=seed
+    )
+    service = EugeneService(seed=seed)
+    client = EugeneClient(
+        service,
+        retry_policy=faults.RetryPolicy(
+            max_attempts=4, base_delay_s=0.002, timeout_s=30.0
+        ),
+    )
+    trained = client.train(
+        data.inputs,
+        data.labels,
+        model_config=StagedResNetConfig(
+            num_classes=3, image_size=8, stage_channels=(4, 8),
+            blocks_per_stage=1, seed=seed,
+        ),
+        epochs=2,
+        name="chaos-demo",
+    )
+    plan = faults.FaultPlan(
+        seed=seed,
+        specs=[
+            faults.FaultSpec("runtime.worker.stage", faults.CRASH, probability=0.04),
+            faults.FaultSpec("runtime.worker.stage", faults.DROP, probability=0.05),
+            faults.FaultSpec(
+                "runtime.worker.stage", faults.LATENCY,
+                probability=0.15, latency_s=0.003,
+            ),
+            faults.FaultSpec(
+                "runtime.dispatch", faults.LATENCY,
+                probability=0.10, latency_s=0.002,
+            ),
+            faults.FaultSpec("service.infer", faults.ERROR, probability=0.25),
+            faults.FaultSpec("client.classify", faults.ERROR, probability=0.25),
+        ],
+    )
+    report = {
+        "episodes": episodes,
+        "served": 0,
+        "degraded": 0,
+        "evicted": 0,
+        "typed_failures": 0,
+        "invariant_violations": 0,
+    }
+    with faults.plan_session(plan):
+        for _ in range(episodes):
+            try:
+                response = client.infer(
+                    trained.model_id,
+                    data.inputs[:8],
+                    latency_constraint_s=2.0,
+                    num_workers=2,
+                    max_batch=4,
+                    drain_window_s=0.002,
+                )
+            except faults.ResilienceError:
+                # Bounded, typed failure — the allowed outcome.
+                report["typed_failures"] += 1
+            except Exception:  # noqa: BLE001 — the invariant being checked
+                report["invariant_violations"] += 1
+            else:
+                report["served"] += len(response.predictions)
+                report["degraded"] += sum(response.degraded)
+                report["evicted"] += sum(response.evicted)
+                for flagged, stage in zip(response.degraded, response.served_stage):
+                    if flagged and stage is None:
+                        report["invariant_violations"] += 1
+            try:
+                client.classify(trained.model_id, data.inputs[:16])
+            except faults.ResilienceError:
+                report["typed_failures"] += 1
+            except Exception:  # noqa: BLE001
+                report["invariant_violations"] += 1
+    return session, plan, report
+
+
+def _chaos_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description="Drive the serving stack under a seeded fault plan.",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--episodes", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    from . import telemetry
+
+    try:
+        session, plan, report = run_chaos_workload(
+            seed=args.seed, episodes=args.episodes
+        )
+        if args.json:
+            import json
+
+            print(
+                json.dumps(
+                    {
+                        "seed": args.seed,
+                        "report": report,
+                        "faults": plan.log.counts(),
+                        "fault_log": plan.log.export_text().splitlines(),
+                        "counters": session.registry.counters(),
+                        "trace": session.trace.counts(),
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            print(f"chaos workload (seed={args.seed})")
+            print(f"\nfault log ({len(plan.log)} injections):")
+            print(plan.log.export_text() or "  (none fired)")
+            print("\nreport:")
+            for key, value in report.items():
+                print(f"  {key:22} {value}")
+            print("\nrecovery counters:")
+            for name, value in session.registry.counters().items():
+                if name.startswith(("client.", "runtime.", "service.degraded")):
+                    print(f"  {name:40} {value:g}")
+        return 1 if report["invariant_violations"] else 0
+    finally:
+        telemetry.disable()
+
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "table1": _table1,
     "fig2": _fig2,
@@ -209,6 +366,8 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "metrics":
         return _metrics_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return _chaos_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",

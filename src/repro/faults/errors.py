@@ -1,0 +1,54 @@
+"""Exception taxonomy of the fault-injection and resilience layer.
+
+Two families:
+
+- *Injected* faults — raised (or simulated) at a :func:`repro.faults.inject`
+  site because the installed :class:`~repro.faults.plan.FaultPlan` decided
+  to fire.  They model failures of the underlying system (a flaky network
+  hop, a crashing worker process), not bugs in the caller.
+- *Resilience* errors — raised by the recovery machinery itself when its
+  budget runs out (retries exhausted, request deadline passed, circuit
+  open).  These are the errors a well-behaved client surfaces to its user.
+"""
+
+from __future__ import annotations
+
+
+class InjectedFault(RuntimeError):
+    """Base class of every failure produced by an armed fault plan."""
+
+
+class TransientServiceError(InjectedFault):
+    """A retryable endpoint failure (the RPC analogue of a 503).
+
+    :class:`~repro.faults.resilience.RetryPolicy` treats exactly this type
+    (and its subclasses) as retryable; anything else propagates unchanged.
+    """
+
+
+class WorkerCrash(InjectedFault):
+    """A worker thread dies mid-item; the runtime must respawn it."""
+
+
+class CorruptedPayload(InjectedFault):
+    """A stage result arrived mangled (NaN confidences, wrong shapes)."""
+
+
+class ResilienceError(RuntimeError):
+    """Base class of errors raised when recovery budgets are exhausted."""
+
+
+class RetriesExhaustedError(ResilienceError):
+    """Every retry attempt failed; carries the last underlying error."""
+
+    def __init__(self, message: str, last_error: Exception) -> None:
+        super().__init__(message)
+        self.last_error = last_error
+
+
+class RequestTimeoutError(ResilienceError, TimeoutError):
+    """The per-request time budget ran out before an attempt succeeded."""
+
+
+class CircuitOpenError(ResilienceError):
+    """The endpoint's circuit breaker is open; the call was not attempted."""

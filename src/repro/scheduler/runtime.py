@@ -31,10 +31,30 @@ Two inference-fast-path extensions beyond the paper's design:
   same-stage work while other results are still in flight.  Batches are
   formed under the scheduler lock, so a task evicted by the daemon can
   never appear in a newly formed batch.
+
+Resilience (exercised by :mod:`repro.faults` and ``tests/faults/``):
+
+- **Lost-item watchdog.**  Every dispatched micro-batch is tracked until
+  its result returns; an item outstanding longer than
+  ``RuntimeConfig.item_timeout`` (a crashed/hung worker, a dropped result)
+  is declared lost, its tasks are released back to the scheduler, and a
+  late result for a reaped item is discarded as stale.
+- **Worker respawn.**  A worker thread that dies (the ``crash`` fault
+  kind) is detected and replaced, so pool capacity survives crashes.
+- **Result validation.**  Stage results with non-finite confidences (the
+  ``corrupt`` fault kind) are rejected and re-executed rather than served.
+- **Graceful degradation.**  A task that cannot finish all stages inside
+  its budget still reports the best already-computed stage's result,
+  flagged via :attr:`RuntimeTaskResult.degraded` / ``served_stage``.
+
+Injection sites: ``runtime.worker.stage`` (all fault kinds) and
+``runtime.dispatch`` (``latency``/``hang`` only — the scheduler thread
+must never die).  Both disarm to one global read + ``None`` check.
 """
 
 from __future__ import annotations
 
+import itertools
 import queue
 import threading
 import time
@@ -44,11 +64,15 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .. import telemetry
+from .. import faults, telemetry
 from ..nn import functional as F
 from ..nn.resnet import StagedResNet
 from .policies import SchedulingPolicy
 from .task import StageOutcome, TaskRecord
+
+#: Named injection sites this module consults (see docs/FAULTS.md).
+WORKER_STAGE_SITE = "runtime.worker.stage"
+DISPATCH_SITE = "runtime.dispatch"
 
 
 @dataclass
@@ -65,6 +89,11 @@ class RuntimeConfig:
     #: same-stage work while other results are still in flight (0 = never
     #: wait; dispatch whatever was coalesced immediately).
     drain_window: float = 0.0
+    #: seconds a dispatched micro-batch may stay outstanding before the
+    #: scheduler declares it lost (crashed/hung worker, dropped result) and
+    #: releases its tasks for re-execution.  Generous by default: a healthy
+    #: pool never trips it, so the disarmed behaviour is unchanged.
+    item_timeout: float = 5.0
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -80,6 +109,8 @@ class RuntimeConfig:
                 "drain_window > 0 requires max_batch > 1: a single-task "
                 "batch can never grow, so holding it back only adds latency"
             )
+        if self.item_timeout <= 0:
+            raise ValueError("item_timeout must be positive")
 
 
 @dataclass
@@ -90,6 +121,8 @@ class RuntimeTaskResult:
     outcomes: List[StageOutcome]
     evicted: bool
     elapsed: float
+    #: all stages ran inside the budget (the non-degraded happy path).
+    completed: bool = False
 
     @property
     def prediction(self) -> Optional[int]:
@@ -99,19 +132,32 @@ class RuntimeTaskResult:
     def confidence(self) -> Optional[float]:
         return self.outcomes[-1].confidence if self.outcomes else None
 
+    @property
+    def served_stage(self) -> Optional[int]:
+        """Which stage the served result came from (``None`` = no result)."""
+        return self.outcomes[-1].stage if self.outcomes else None
+
+    @property
+    def degraded(self) -> bool:
+        """Served from an early exit because later stages never finished
+        inside the budget (fault or deadline) — a result, but a weaker one."""
+        return not self.completed and bool(self.outcomes)
+
 
 class _WorkItem:
     """One unit of worker work: a same-stage micro-batch of tasks."""
 
-    __slots__ = ("task_ids", "stage", "features", "needs_stem")
+    __slots__ = ("item_id", "task_ids", "stage", "features", "needs_stem")
 
     def __init__(
         self,
+        item_id: int,
         task_ids: Tuple[int, ...],
         stage: int,
         features: np.ndarray,
         needs_stem: bool,
     ) -> None:
+        self.item_id = item_id
         self.task_ids = task_ids
         self.stage = stage
         self.features = features
@@ -270,6 +316,23 @@ class StagedInferenceRuntime:
                     continue
                 if item is None:
                     return
+                decision = faults.inject(WORKER_STAGE_SITE)
+                if decision is not None:
+                    if decision.kind in (faults.LATENCY, faults.HANG):
+                        # A slow (or apparently dead) worker: stall, then
+                        # proceed.  A hang longer than item_timeout means the
+                        # scheduler reaps the item and this result is stale.
+                        time.sleep(decision.latency_s)
+                    elif decision.kind == faults.CRASH:
+                        # The worker process dies mid-item: thread exits
+                        # without reporting; the supervisor respawns it and
+                        # the watchdog requeues the lost item.
+                        return
+                    elif decision.kind in (faults.DROP, faults.ERROR):
+                        # The stage result never reaches the scheduler (lost
+                        # pipe write / transient executor error): swallow the
+                        # item; the watchdog requeues its tasks.
+                        continue
                 start = time.perf_counter()
                 feats = item.features
                 if item.needs_stem:
@@ -278,6 +341,8 @@ class StagedInferenceRuntime:
                 probs = F.softmax_infer(logits, axis=-1)
                 predictions = probs.argmax(axis=-1)
                 confidences = probs.max(axis=-1)
+                if decision is not None and decision.kind == faults.CORRUPT:
+                    confidences = np.full_like(confidences, np.nan)
                 if tel is not None:
                     elapsed_ms = 1e3 * (time.perf_counter() - start)
                     tel.registry.histogram(
@@ -287,7 +352,14 @@ class StagedInferenceRuntime:
                         elapsed_ms
                     )
                 result_queue.put(
-                    (item.task_ids, item.stage, predictions, confidences, new_features)
+                    (
+                        item.item_id,
+                        item.task_ids,
+                        item.stage,
+                        predictions,
+                        confidences,
+                        new_features,
+                    )
                 )
 
         def evict_task(record: TaskRecord, now: float) -> None:
@@ -319,14 +391,25 @@ class StagedInferenceRuntime:
         daemon.start()
 
         in_flight: Dict[int, int] = {}  # task_id -> stage being executed
-        items_in_flight = 0  # work items (micro-batches) at the workers
         timeline: Deque[tuple] = deque()
         # Undersized batch waiting out the drain window: (tids, stage, t_formed).
         pending: Optional[Tuple[List[int], int, float]] = None
+        # Dispatched micro-batches awaiting results:
+        # item_id -> (task_ids, stage, dispatch time).  A result whose item
+        # was already reaped by the watchdog is stale and discarded.
+        outstanding: Dict[int, Tuple[Tuple[int, ...], int, float]] = {}
+        item_ids = itertools.count()
+
+        def items_in_flight() -> int:
+            return len(outstanding)
 
         def dispatch(batch: Sequence[int], stage: int, now: float) -> None:
             """Hand a formed micro-batch to the worker pool.  Lock held."""
-            nonlocal items_in_flight
+            decision = faults.inject(DISPATCH_SITE)
+            if decision is not None and decision.kind in (faults.LATENCY, faults.HANG):
+                # Only stalls make sense here: the scheduler thread itself
+                # must never crash or drop work.
+                time.sleep(decision.latency_s)
             tids = tuple(batch)
             if stage == 0:
                 feats = np.concatenate([self._inputs[tid] for tid in tids], axis=0)
@@ -336,7 +419,8 @@ class StagedInferenceRuntime:
                 needs_stem = False
             for tid in tids:
                 in_flight[tid] = stage
-            items_in_flight += 1
+            item_id = next(item_ids)
+            outstanding[item_id] = (tids, stage, time.monotonic() - t0)
             self.batch_log.append((stage, tids))
             if tel is not None:
                 tel.registry.histogram("runtime.batch_occupancy", lo=0.5).observe(
@@ -352,7 +436,7 @@ class StagedInferenceRuntime:
                     queue_depth
                 )
                 tel.trace.stage_dispatch(now, stage, tids)
-            work_queue.put(_WorkItem(tids, stage, feats, needs_stem))
+            work_queue.put(_WorkItem(item_id, tids, stage, feats, needs_stem))
 
         def drop_overdue(batch: Sequence[int], now: float) -> List[int]:
             """Deadline re-check at dispatch time.  Lock held.
@@ -426,7 +510,7 @@ class StagedInferenceRuntime:
         def refill(now: float) -> None:
             """Keep the workers fed; replan when the timeline drains."""
             nonlocal timeline, pending
-            while items_in_flight < cfg.num_workers:
+            while items_in_flight() < cfg.num_workers:
                 if pending is not None:
                     batch, stage, formed_at = pending
                     # Re-validate: eviction or completion may have struck
@@ -449,7 +533,7 @@ class StagedInferenceRuntime:
                         pending = None
                         continue
                     expired = (now - formed_at) >= cfg.drain_window
-                    if len(batch) >= cfg.max_batch or expired or items_in_flight == 0:
+                    if len(batch) >= cfg.max_batch or expired or items_in_flight() == 0:
                         pending = None
                         # The hold may have outlived a deadline the daemon
                         # has not noticed yet: evict, never dispatch.
@@ -468,12 +552,41 @@ class StagedInferenceRuntime:
                 if (
                     len(batch) < cfg.max_batch
                     and cfg.drain_window > 0
-                    and items_in_flight > 0
+                    and items_in_flight() > 0
                 ):
                     # Hold back: in-flight results may yield same-stage work.
                     pending = (batch, stage, now)
                     return
                 dispatch(batch, stage, now)
+
+        def reap_lost_items(now: float) -> None:
+            """Release tasks of items outstanding past the timeout.  Lock held.
+
+            A reaped item's tasks become schedulable again; a late result
+            for it is recognised as stale (its id is gone) and discarded, so
+            no stage can ever be applied twice.
+            """
+            for item_id, (tids, stage, dispatched_at) in list(outstanding.items()):
+                if now - dispatched_at < cfg.item_timeout:
+                    continue
+                del outstanding[item_id]
+                for tid in tids:
+                    in_flight.pop(tid, None)
+                if tel is not None:
+                    tel.registry.counter("runtime.items_lost").inc()
+                    tel.trace.item_retry(now, stage, tids)
+
+        def respawn_dead_workers(now: float) -> None:
+            """Replace crashed worker threads so pool capacity survives."""
+            for i, w in enumerate(workers):
+                if w.is_alive() or stop.is_set():
+                    continue
+                replacement = threading.Thread(target=worker_loop, daemon=True)
+                workers[i] = replacement
+                replacement.start()
+                if tel is not None:
+                    tel.registry.counter("runtime.worker_respawns").inc()
+                    tel.trace.worker_respawn(now, i)
 
         try:
             with lock:
@@ -482,24 +595,44 @@ class StagedInferenceRuntime:
                 with lock:
                     if (
                         all(r.done for r in records.values())
-                        and items_in_flight == 0
+                        and items_in_flight() == 0
                     ):
                         break
                     wait = 0.005 if pending is not None else 0.05
                 try:
-                    tids, stage, predictions, confidences, new_features = (
+                    item_id, tids, stage, predictions, confidences, new_features = (
                         result_queue.get(timeout=wait)
                     )
                 except queue.Empty:
                     # Evictions (or an expiring drain window) may have freed
-                    # scheduling slots meanwhile.
+                    # scheduling slots meanwhile; with a fault plan armed,
+                    # items may also be lost and workers dead.
                     now = time.monotonic() - t0
                     with lock:
+                        if faults.active() is not None:
+                            reap_lost_items(now)
+                            respawn_dead_workers(now)
                         refill(now)
                     continue
                 now = time.monotonic() - t0
                 with lock:
-                    items_in_flight -= 1
+                    if outstanding.pop(item_id, None) is None:
+                        # Stale: the watchdog already reaped this item (its
+                        # tasks may even be re-executing).  Discard.
+                        if tel is not None:
+                            tel.registry.counter("runtime.stale_results").inc()
+                        continue
+                    if not np.all(np.isfinite(confidences)):
+                        # Corrupted payload: reject the whole batch and
+                        # release its tasks for re-execution — a NaN
+                        # confidence must never reach the policy or a client.
+                        for tid in tids:
+                            in_flight.pop(tid, None)
+                        if tel is not None:
+                            tel.registry.counter("runtime.corrupt_results").inc()
+                            tel.trace.item_retry(now, stage, tids)
+                        refill(now)
+                        continue
                     for i, tid in enumerate(tids):
                         in_flight.pop(tid, None)
                         record = records[tid]
@@ -547,6 +680,7 @@ class StagedInferenceRuntime:
                     outcomes=list(record.outcomes),
                     evicted=record.evicted,
                     elapsed=float(elapsed),
+                    completed=record.complete,
                 )
             )
         self._inputs = []

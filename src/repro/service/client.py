@@ -1,19 +1,26 @@
 """Client-side stubs: the service handle an IoT device holds.
 
 :class:`EugeneClient` is a thin convenience wrapper over the service
-endpoints.  :class:`EdgeDevice` models the paper's caching client: it asks
-the service for a reduced model sized to its own :class:`DeviceProfile`,
-serves frequent classes locally, and offloads cache misses.
+endpoints, hardened with the client half of the resilience contract
+(:mod:`repro.faults`): every call runs under a per-endpoint circuit
+breaker and a bounded exponential-backoff retry policy, and passes a
+``client.<endpoint>`` fault-injection site standing in for the network
+leg a real deployment would have.  :class:`EdgeDevice` models the paper's
+caching client: it asks the service for a reduced model sized to its own
+:class:`DeviceProfile`, serves frequent classes locally, and offloads
+cache misses.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
+from .. import faults, telemetry
 from ..compression.cache import DeviceProfile, FrequencyTracker, ReducedClassModel
+from ..faults import CLOSED, OPEN, CircuitBreaker, ResilienceError, RetryPolicy
 from .messages import (
     CalibrateRequest,
     CalibrateResponse,
@@ -38,15 +45,91 @@ from .messages import (
 )
 from .server import EugeneService
 
+T = TypeVar("T")
+
 
 class EugeneClient:
-    """Method-per-endpoint client stub."""
+    """Method-per-endpoint client stub with client-side resilience.
 
-    def __init__(self, service: EugeneService) -> None:
+    Each endpoint call passes three layers, outermost first:
+
+    1. a lazily-created per-endpoint :class:`CircuitBreaker` — when an
+       endpoint keeps failing, further calls fast-fail with
+       :class:`~repro.faults.CircuitOpenError` without touching the
+       service until the cooldown elapses;
+    2. the :class:`RetryPolicy` — only
+       :class:`~repro.faults.TransientServiceError` is retried, with
+       bounded exponential backoff and an optional per-request
+       ``timeout_s`` budget;
+    3. the ``client.<endpoint>`` fault-injection site — the "network
+       leg", consulted once per *attempt* so a transient injected error
+       can clear on retry.
+
+    With no fault plan armed and a healthy service, all three layers are
+    pass-throughs: behaviour is identical to the plain stub.
+    """
+
+    def __init__(
+        self,
+        service: EugeneService,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker_factory: Callable[[], CircuitBreaker] = CircuitBreaker,
+    ) -> None:
         self.service = service
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self._breaker_factory = breaker_factory
+        self._breakers: Dict[str, CircuitBreaker] = {}
 
+    # ------------------------------------------------------------------
+    # Resilience plumbing
+    # ------------------------------------------------------------------
+    def breaker(self, endpoint: str) -> CircuitBreaker:
+        """The circuit breaker guarding ``endpoint`` (created on first use)."""
+        breaker = self._breakers.get(endpoint)
+        if breaker is None:
+            breaker = self._breakers[endpoint] = self._breaker_factory()
+        return breaker
+
+    def _call(self, endpoint: str, fn: Callable[[], T]) -> T:
+        breaker = self.breaker(endpoint)
+        state_before = breaker.state
+        breaker.guard(endpoint)
+
+        def attempt() -> T:
+            faults.perform(faults.inject(f"client.{endpoint}"))
+            return fn()
+
+        def on_retry(attempt_no: int, _error: Exception) -> None:
+            tel = telemetry.active()
+            if tel is not None:
+                tel.registry.counter(f"client.retries.{endpoint}").inc()
+                tel.trace.retry(0.0, endpoint, attempt_no)
+
+        try:
+            result = self.retry_policy.call(attempt, on_retry=on_retry)
+        except ResilienceError:
+            # Only exhausted retries / blown budgets count against the
+            # breaker — a ValueError from request validation is the
+            # caller's bug, not the endpoint's health.
+            breaker.record_failure()
+            tel = telemetry.active()
+            if tel is not None and breaker.state == OPEN:
+                tel.registry.counter(f"client.breaker_open.{endpoint}").inc()
+                tel.trace.breaker_open(0.0, endpoint)
+            raise
+        breaker.record_success()
+        if state_before != CLOSED:
+            tel = telemetry.active()
+            if tel is not None:
+                tel.trace.breaker_close(0.0, endpoint)
+        return result
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
     def train(self, inputs: np.ndarray, labels: np.ndarray, **kwargs) -> TrainResponse:
-        return self.service.train(TrainRequest(inputs=inputs, labels=labels, **kwargs))
+        request = TrainRequest(inputs=inputs, labels=labels, **kwargs)
+        return self._call("train", lambda: self.service.train(request))
 
     def label(
         self,
@@ -56,55 +139,58 @@ class EugeneClient:
         num_classes: int,
         **kwargs,
     ) -> LabelResponse:
-        return self.service.label(
-            LabelRequest(
-                labeled_inputs=labeled_inputs,
-                labeled_targets=labeled_targets,
-                unlabeled_inputs=unlabeled_inputs,
-                num_classes=num_classes,
-                **kwargs,
-            )
+        request = LabelRequest(
+            labeled_inputs=labeled_inputs,
+            labeled_targets=labeled_targets,
+            unlabeled_inputs=unlabeled_inputs,
+            num_classes=num_classes,
+            **kwargs,
         )
+        return self._call("label", lambda: self.service.label(request))
 
     def reduce(self, model_id: str, **kwargs) -> ReduceResponse:
-        return self.service.reduce(ReduceRequest(model_id=model_id, **kwargs))
+        request = ReduceRequest(model_id=model_id, **kwargs)
+        return self._call("reduce", lambda: self.service.reduce(request))
 
     def profile(self, model_id: str, **kwargs) -> ProfileResponse:
-        return self.service.profile(ProfileRequest(model_id=model_id, **kwargs))
+        request = ProfileRequest(model_id=model_id, **kwargs)
+        return self._call("profile", lambda: self.service.profile(request))
 
     def calibrate(
         self, model_id: str, inputs: np.ndarray, labels: np.ndarray, **kwargs
     ) -> CalibrateResponse:
-        return self.service.calibrate(
-            CalibrateRequest(model_id=model_id, inputs=inputs, labels=labels, **kwargs)
+        request = CalibrateRequest(
+            model_id=model_id, inputs=inputs, labels=labels, **kwargs
         )
+        return self._call("calibrate", lambda: self.service.calibrate(request))
 
     def infer(self, model_id: str, inputs: np.ndarray, **kwargs) -> InferResponse:
-        return self.service.infer(InferRequest(model_id=model_id, inputs=inputs, **kwargs))
+        request = InferRequest(model_id=model_id, inputs=inputs, **kwargs)
+        return self._call("infer", lambda: self.service.infer(request))
 
     def train_deepsense(
         self, inputs: np.ndarray, labels: np.ndarray, **kwargs
     ) -> DeepSenseTrainResponse:
-        return self.service.train_deepsense(
-            DeepSenseTrainRequest(inputs=inputs, labels=labels, **kwargs)
+        request = DeepSenseTrainRequest(inputs=inputs, labels=labels, **kwargs)
+        return self._call(
+            "train_deepsense", lambda: self.service.train_deepsense(request)
         )
 
-    def classify(self, model_id: str, inputs: np.ndarray) -> ClassifyResponse:
-        return self.service.classify(
-            ClassifyRequest(model_id=model_id, inputs=inputs)
-        )
+    def classify(self, model_id: str, inputs: np.ndarray, **kwargs) -> ClassifyResponse:
+        request = ClassifyRequest(model_id=model_id, inputs=inputs, **kwargs)
+        return self._call("classify", lambda: self.service.classify(request))
 
     def train_estimator(
         self, inputs: np.ndarray, targets: np.ndarray, **kwargs
     ) -> EstimatorTrainResponse:
-        return self.service.train_estimator(
-            EstimatorTrainRequest(inputs=inputs, targets=targets, **kwargs)
+        request = EstimatorTrainRequest(inputs=inputs, targets=targets, **kwargs)
+        return self._call(
+            "train_estimator", lambda: self.service.train_estimator(request)
         )
 
     def estimate(self, model_id: str, inputs: np.ndarray, **kwargs) -> EstimateResponse:
-        return self.service.estimate(
-            EstimateRequest(model_id=model_id, inputs=inputs, **kwargs)
-        )
+        request = EstimateRequest(model_id=model_id, inputs=inputs, **kwargs)
+        return self._call("estimate", lambda: self.service.estimate(request))
 
 
 class EdgeDevice:

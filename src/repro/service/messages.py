@@ -18,6 +18,17 @@ from ..nn.deepsense import DeepSenseConfig
 from ..nn.resnet import StagedResNetConfig
 
 
+def _require_finite(name: str, values: np.ndarray) -> None:
+    """Reject NaN/inf payloads at the API boundary.
+
+    A NaN smuggled into a request poisons everything downstream (softmax,
+    confidence comparisons, GP fits) silently; one ``isfinite`` pass per
+    request is cheap next to any endpoint's real work.
+    """
+    if not np.all(np.isfinite(np.asarray(values, dtype=np.float64))):
+        raise ValueError(f"{name} must be finite (no NaN/inf values)")
+
+
 @dataclass
 class TrainRequest:
     """Train a staged model on client-supplied labelled data."""
@@ -37,6 +48,11 @@ class TrainRequest:
             raise ValueError("training data must not be empty")
         if self.epochs < 1:
             raise ValueError("epochs must be >= 1")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        _require_finite("inputs", self.inputs)
 
 
 @dataclass
@@ -63,6 +79,12 @@ class LabelRequest:
             raise ValueError(f"unknown labeling method {self.method!r}")
         if self.num_classes < 2:
             raise ValueError("need at least two classes")
+        if len(self.labeled_inputs) != len(self.labeled_targets):
+            raise ValueError("labeled inputs and targets must align")
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        _require_finite("labeled_inputs", self.labeled_inputs)
+        _require_finite("unlabeled_inputs", self.unlabeled_inputs)
 
 
 @dataclass
@@ -81,6 +103,14 @@ class ReduceRequest:
     class_subset: Optional[Sequence[int]] = None
     max_parameters: Optional[int] = None
     epochs: int = 4
+
+    def __post_init__(self) -> None:
+        if self.width_fraction is not None and not 0.0 < self.width_fraction <= 1.0:
+            raise ValueError("width_fraction must be in (0, 1] when given")
+        if self.max_parameters is not None and self.max_parameters < 1:
+            raise ValueError("max_parameters must be >= 1 when given")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
 
 
 @dataclass
@@ -118,6 +148,13 @@ class CalibrateRequest:
     labels: np.ndarray
     epochs: int = 3
 
+    def __post_init__(self) -> None:
+        if len(self.inputs) != len(self.labels):
+            raise ValueError("inputs and labels must have the same length")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        _require_finite("inputs", self.inputs)
+
 
 @dataclass
 class CalibrateResponse:
@@ -146,6 +183,8 @@ class InferRequest:
             raise ValueError("latency constraint must be positive")
         if self.lookahead < 1:
             raise ValueError("lookahead must be >= 1")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if self.drain_window_s < 0:
@@ -155,6 +194,9 @@ class InferRequest:
                 "drain_window_s > 0 requires max_batch > 1: a single-task "
                 "batch can never grow, so holding it back only adds latency"
             )
+        if len(self.inputs) == 0:
+            raise ValueError("inputs must not be empty")
+        _require_finite("inputs", self.inputs)
 
 
 @dataclass
@@ -167,6 +209,13 @@ class InferResponse:
     #: deadline misses, per-endpoint request counts); ``None`` unless
     #: :mod:`repro.telemetry` is enabled.
     metrics: Optional[Dict[str, object]] = None
+    #: per task: the result was served from an early exit because later
+    #: stages never finished inside the budget (deadline or fault) — the
+    #: graceful-degradation contract: a weaker answer beats no answer.
+    degraded: List[bool] = field(default_factory=list)
+    #: per task: which stage the served result came from (``None`` when the
+    #: task produced no result at all before expiring).
+    served_stage: List[Optional[int]] = field(default_factory=list)
 
 
 @dataclass
@@ -195,6 +244,11 @@ class DeepSenseTrainRequest:
             raise ValueError("inputs must be (N, channels, intervals, samples)")
         if self.steps < 1:
             raise ValueError("steps must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        _require_finite("inputs", self.inputs)
 
 
 @dataclass
@@ -218,6 +272,9 @@ class ClassifyRequest:
     def __post_init__(self) -> None:
         if self.micro_batch is not None and self.micro_batch < 1:
             raise ValueError("micro_batch must be >= 1 when given")
+        if len(self.inputs) == 0:
+            raise ValueError("inputs must not be empty")
+        _require_finite("inputs", self.inputs)
 
 
 @dataclass
@@ -253,6 +310,12 @@ class EstimatorTrainRequest:
             raise ValueError("training data must not be empty")
         if not 0.0 <= self.loss_weight <= 1.0:
             raise ValueError("loss_weight must be in [0, 1]")
+        if self.hidden < 1:
+            raise ValueError("hidden must be >= 1")
+        if self.steps < 1:
+            raise ValueError("steps must be >= 1")
+        _require_finite("inputs", self.inputs)
+        _require_finite("targets", self.targets)
 
 
 @dataclass
@@ -275,6 +338,9 @@ class EstimateRequest:
     def __post_init__(self) -> None:
         if not 0.0 < self.confidence_level < 1.0:
             raise ValueError("confidence_level must be in (0, 1)")
+        if len(self.inputs) == 0:
+            raise ValueError("inputs must not be empty")
+        _require_finite("inputs", self.inputs)
 
 
 @dataclass

@@ -39,6 +39,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tupl
 
 import numpy as np
 
+from .. import faults
 from ..nn import functional as F
 from ..nn.layers import Dense, Sequential
 from ..nn.losses import cross_entropy
@@ -89,6 +90,9 @@ class DataPool:
             raise PoolAuthorizationError(
                 f"device {device_id!r} is not authorized for pool {self.name!r}"
             )
+        decision = faults.perform(faults.inject("pools.contribute"))
+        if decision is not None and decision.kind == faults.DROP:
+            return 0  # the contribution is silently lost in transit
         samples = np.asarray(samples, dtype=np.float64)
         labels = np.asarray(labels, dtype=np.int64)
         if len(samples) != len(labels):

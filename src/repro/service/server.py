@@ -8,7 +8,7 @@ import numpy as np
 
 from scipy.stats import norm
 
-from .. import telemetry
+from .. import faults, telemetry
 from ..calibration.entropy_reg import EntropyCalibrator
 from ..calibration.rdeepsense import fit_gaussian_regressor, interval_coverage
 from ..compression.pruning import shrink_staged_resnet
@@ -104,6 +104,7 @@ class EugeneService:
     # Training (Sec. II-A)
     # ------------------------------------------------------------------
     @telemetry.timed("train")
+    @faults.endpoint("service.train")
     def train(self, request: TrainRequest) -> TrainResponse:
         """Train a staged model on client data; fit its confidence curves."""
         config = request.model_config or StagedResNetConfig(
@@ -140,6 +141,7 @@ class EugeneService:
         )
 
     @telemetry.timed("train_deepsense")
+    @faults.endpoint("service.train_deepsense")
     def train_deepsense(self, request: DeepSenseTrainRequest) -> DeepSenseTrainResponse:
         """Train the DeepSense sensor-fusion architecture on time series."""
         inputs = np.asarray(request.inputs, dtype=np.float64)
@@ -174,6 +176,7 @@ class EugeneService:
         )
 
     @telemetry.timed("classify")
+    @faults.endpoint("service.classify")
     def classify(self, request: ClassifyRequest) -> ClassifyResponse:
         """Single-shot classification by any registered classifier model."""
         entry = self.registry.get(request.model_id)
@@ -208,6 +211,7 @@ class EugeneService:
     # Labeling (Sec. II-A)
     # ------------------------------------------------------------------
     @telemetry.timed("label")
+    @faults.endpoint("service.label")
     def label(self, request: LabelRequest) -> LabelResponse:
         labeled = Dataset(request.labeled_inputs, request.labeled_targets)
         if request.method == "sensegan":
@@ -231,6 +235,7 @@ class EugeneService:
     # Model reduction (Sec. II-B)
     # ------------------------------------------------------------------
     @telemetry.timed("reduce")
+    @faults.endpoint("service.reduce")
     def reduce(self, request: ReduceRequest) -> ReduceResponse:
         entry = self.registry.get(request.model_id)
         if entry.train_set is None:
@@ -268,6 +273,7 @@ class EugeneService:
     # Profiling (Sec. II-C)
     # ------------------------------------------------------------------
     @telemetry.timed("profile")
+    @faults.endpoint("service.profile")
     def profile(self, request: ProfileRequest) -> ProfileResponse:
         entry = self.registry.get(request.model_id)
         times = stage_execution_times(
@@ -281,6 +287,7 @@ class EugeneService:
     # Result-quality calibration (Sec. II-D / III-A)
     # ------------------------------------------------------------------
     @telemetry.timed("calibrate")
+    @faults.endpoint("service.calibrate")
     def calibrate(self, request: CalibrateRequest) -> CalibrateResponse:
         entry = self.registry.get(request.model_id)
         calibrator = EntropyCalibrator(epochs=request.epochs, seed=self.seed)
@@ -303,6 +310,7 @@ class EugeneService:
     # Estimation service (Sec. II: the continuous-output task family)
     # ------------------------------------------------------------------
     @telemetry.timed("train_estimator")
+    @faults.endpoint("service.train_estimator")
     def train_estimator(self, request: EstimatorTrainRequest) -> EstimatorTrainResponse:
         """Train a Gaussian regressor under the RDeepSense weighted loss."""
         x = np.asarray(request.inputs, dtype=np.float64).reshape(len(request.inputs), -1)
@@ -323,6 +331,7 @@ class EugeneService:
         )
 
     @telemetry.timed("estimate")
+    @faults.endpoint("service.estimate")
     def estimate(self, request: EstimateRequest) -> EstimateResponse:
         """Point estimates + predictive intervals from a trained estimator."""
         entry = self.registry.get(request.model_id)
@@ -346,6 +355,7 @@ class EugeneService:
     # Run-time inference (Sec. II-E / III)
     # ------------------------------------------------------------------
     @telemetry.timed("infer")
+    @faults.endpoint("service.infer")
     def infer(self, request: InferRequest) -> InferResponse:
         entry = self.registry.get(request.model_id)
         if entry.predictor is None:
@@ -361,10 +371,24 @@ class EugeneService:
                 latency_constraint=request.latency_constraint_s,
                 max_batch=request.max_batch,
                 drain_window=request.drain_window_s,
+                # An item outstanding past the deadline can never help its
+                # tasks, so lost-item detection need not wait longer than
+                # the constraint — this bounds quiesce time under faults.
+                item_timeout=min(5.0, request.latency_constraint_s),
             ),
         )
         runtime.submit(request.inputs)
         results = runtime.run_until_complete()
+        # Graceful degradation (Sec. III's anytime contract): a task whose
+        # later stages never finished inside the budget — deadline or fault
+        # — is still served from its best completed early exit, flagged so
+        # the client can distinguish a weaker answer from a full one.
+        tel = telemetry.active()
+        if tel is not None:
+            for r in results:
+                if r.degraded:
+                    tel.registry.counter("service.degraded_responses").inc()
+                    tel.trace.degraded(0.0, r.task_id, r.served_stage)
         return InferResponse(
             predictions=[r.prediction for r in results],
             confidences=[r.confidence for r in results],
@@ -375,4 +399,6 @@ class EugeneService:
                 num_evicted=sum(1 for r in results if r.evicted),
                 batch_sizes=[len(tids) for _, tids in runtime.batch_log],
             ),
+            degraded=[r.degraded for r in results],
+            served_stage=[r.served_stage for r in results],
         )

@@ -42,13 +42,20 @@ from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .trace import (
     ADMIT,
     BATCH_FORM,
+    BREAKER_CLOSE,
+    BREAKER_OPEN,
     COMPLETE,
     DEADLINE_MISS,
+    DEGRADED,
     EVENT_KINDS,
     EVICT,
+    FAULT_INJECT,
+    ITEM_RETRY,
+    RETRY,
     STAGE_DISPATCH,
     TraceEvent,
     TraceLog,
+    WORKER_RESPAWN,
 )
 
 
@@ -151,6 +158,13 @@ __all__ = [
     "COMPLETE",
     "EVICT",
     "DEADLINE_MISS",
+    "FAULT_INJECT",
+    "WORKER_RESPAWN",
+    "ITEM_RETRY",
+    "RETRY",
+    "DEGRADED",
+    "BREAKER_OPEN",
+    "BREAKER_CLOSE",
     "enable",
     "disable",
     "active",

@@ -136,26 +136,33 @@ class Histogram:
 
     @property
     def mean(self) -> float:
+        """Mean of all observations; ``nan`` before the first one."""
         with self._lock:
-            return self._sum / self._count if self._count else 0.0
+            return self._sum / self._count if self._count else math.nan
 
     @property
     def min(self) -> float:
+        """Smallest observation; ``nan`` before the first one."""
         with self._lock:
-            return self._min if self._count else 0.0
+            return self._min if self._count else math.nan
 
     @property
     def max(self) -> float:
+        """Largest observation; ``nan`` before the first one."""
         with self._lock:
-            return self._max if self._count else 0.0
+            return self._max if self._count else math.nan
 
     def quantile(self, q: float) -> float:
-        """Estimated ``q``-quantile of everything observed so far."""
+        """Estimated ``q``-quantile of everything observed so far.
+
+        An empty histogram has no quantiles: the documented sentinel is
+        ``nan`` (never a fabricated 0.0, which reads as a real latency).
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
         with self._lock:
             if self._count == 0:
-                return 0.0
+                return math.nan
             rank = q * self._count
             cumulative = float(self._underflow)
             if cumulative >= rank and self._underflow:
@@ -175,7 +182,11 @@ class Histogram:
         return {f"p{p:g}": self.quantile(p / 100.0) for p in ps}
 
     def summary(self) -> Dict[str, float]:
-        """count/sum/mean/min/max plus the standard latency quantiles."""
+        """count/sum/mean/min/max plus the standard latency quantiles.
+
+        On an empty histogram every statistic except ``count``/``sum`` is
+        the ``nan`` sentinel (see :meth:`quantile`).
+        """
         out: Dict[str, float] = {
             "count": float(self.count),
             "sum": self.sum,

@@ -26,9 +26,31 @@ BATCH_FORM = "batch-form"
 COMPLETE = "complete"
 EVICT = "evict"
 DEADLINE_MISS = "deadline-miss"
+#: Fault-injection and recovery transitions (see :mod:`repro.faults`).
+FAULT_INJECT = "fault-inject"
+WORKER_RESPAWN = "worker-respawn"
+ITEM_RETRY = "item-retry"
+RETRY = "retry"
+DEGRADED = "degraded"
+BREAKER_OPEN = "breaker-open"
+BREAKER_CLOSE = "breaker-close"
 
 EVENT_KINDS = frozenset(
-    {ADMIT, STAGE_DISPATCH, BATCH_FORM, COMPLETE, EVICT, DEADLINE_MISS}
+    {
+        ADMIT,
+        STAGE_DISPATCH,
+        BATCH_FORM,
+        COMPLETE,
+        EVICT,
+        DEADLINE_MISS,
+        FAULT_INJECT,
+        WORKER_RESPAWN,
+        ITEM_RETRY,
+        RETRY,
+        DEGRADED,
+        BREAKER_OPEN,
+        BREAKER_CLOSE,
+    }
 )
 
 
@@ -48,6 +70,9 @@ class TraceEvent:
     stage: Optional[int] = None
     task_ids: Optional[Tuple[int, ...]] = None
     detail: Optional[Dict[str, float]] = None
+    #: free-form name for events about a *named thing* rather than a task —
+    #: an injection site, an endpoint, a fault kind.
+    label: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in EVENT_KINDS:
@@ -61,6 +86,8 @@ class TraceEvent:
             out["stage"] = self.stage
         if self.task_ids is not None:
             out["task_ids"] = list(self.task_ids)
+        if self.label is not None:
+            out["label"] = self.label
         if self.detail:
             out["detail"] = dict(self.detail)
         return out
@@ -87,11 +114,12 @@ class TraceLog:
         stage: Optional[int] = None,
         task_ids: Optional[Tuple[int, ...]] = None,
         detail: Optional[Dict[str, float]] = None,
+        label: Optional[str] = None,
     ) -> TraceEvent:
         with self._lock:
             event = TraceEvent(
                 seq=self._seq, t=float(t), kind=kind, task_id=task_id,
-                stage=stage, task_ids=task_ids, detail=detail,
+                stage=stage, task_ids=task_ids, detail=detail, label=label,
             )
             self._seq += 1
             if len(self._events) == self.capacity:
@@ -128,6 +156,42 @@ class TraceLog:
         return self.record(
             DEADLINE_MISS, t, task_id=task_id, detail={"deadline": deadline}
         )
+
+    # -- fault-injection / recovery transitions ------------------------
+    def fault_inject(self, t: float, site: str, kind: str, index: int) -> TraceEvent:
+        """A fault fired at ``site``; ``t`` is the site invocation index."""
+        return self.record(
+            FAULT_INJECT, t, label=f"{site}:{kind}",
+            detail={"invocation": float(index)},
+        )
+
+    def worker_respawn(self, t: float, worker: int) -> TraceEvent:
+        return self.record(
+            WORKER_RESPAWN, t, detail={"worker": float(worker)}
+        )
+
+    def item_retry(self, t: float, stage: int, task_ids: Tuple[int, ...]) -> TraceEvent:
+        """A dispatched micro-batch was declared lost and requeued."""
+        return self.record(
+            ITEM_RETRY, t, stage=stage, task_ids=tuple(task_ids),
+            detail={"batch_size": float(len(task_ids))},
+        )
+
+    def retry(self, t: float, endpoint: str, attempt: int) -> TraceEvent:
+        """A client retry of ``endpoint`` (attempt number 1-based)."""
+        return self.record(
+            RETRY, t, label=endpoint, detail={"attempt": float(attempt)}
+        )
+
+    def degraded(self, t: float, task_id: int, stage: int) -> TraceEvent:
+        """A task was served from an early exit instead of its final stage."""
+        return self.record(DEGRADED, t, task_id=task_id, stage=stage)
+
+    def breaker_open(self, t: float, endpoint: str) -> TraceEvent:
+        return self.record(BREAKER_OPEN, t, label=endpoint)
+
+    def breaker_close(self, t: float, endpoint: str) -> TraceEvent:
+        return self.record(BREAKER_CLOSE, t, label=endpoint)
 
     # -- read side -----------------------------------------------------
     def events(self, kind: Optional[str] = None) -> List[TraceEvent]:

@@ -1,0 +1,217 @@
+"""Chaos tests for the staged-inference runtime's recovery machinery.
+
+Crashed workers respawn, lost items are reaped and re-dispatched, corrupt
+payloads are rejected before any client sees them, and stale late results
+are discarded — all under seeded, deterministic fault plans.  The model
+is untrained (FIFO scheduling needs no confidence predictor); these tests
+exercise the scheduler, not the network.
+"""
+
+import numpy as np
+import pytest
+
+from repro import faults, telemetry
+from repro.faults import FaultPlan, FaultSpec
+from repro.nn import StagedResNet, StagedResNetConfig
+from repro.scheduler import FIFOPolicy, RuntimeConfig, StagedInferenceRuntime
+from repro.scheduler.runtime import DISPATCH_SITE, WORKER_STAGE_SITE
+
+TINY = StagedResNetConfig(
+    num_classes=3, in_channels=1, image_size=8, stage_channels=(4, 8),
+    blocks_per_stage=1, seed=0,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_sessions():
+    faults.uninstall()
+    telemetry.disable()
+    yield
+    faults.uninstall()
+    telemetry.disable()
+
+
+@pytest.fixture(scope="module")
+def model():
+    return StagedResNet(TINY)
+
+
+def make_runtime(model, **overrides):
+    overrides.setdefault("num_workers", 2)
+    overrides.setdefault("latency_constraint", 30.0)
+    overrides.setdefault("item_timeout", 0.2)
+    return StagedInferenceRuntime(model, FIFOPolicy(), RuntimeConfig(**overrides))
+
+
+def inputs(n=4):
+    return np.random.default_rng(0).normal(size=(n, 1, 8, 8))
+
+
+def assert_outcomes_monotone(results):
+    """Each task's executed stages strictly increase — no stage ever
+    applied twice (the double-apply hazard of requeued lost items)."""
+    for r in results:
+        stages = [o.stage for o in r.outcomes]
+        assert stages == sorted(set(stages)), stages
+
+
+class TestWorkerCrashRecovery:
+    def test_crashed_worker_respawned_and_tasks_complete(self, model):
+        plan = FaultPlan(
+            seed=0, specs=[FaultSpec(WORKER_STAGE_SITE, faults.CRASH, at=(0,))]
+        )
+        runtime = make_runtime(model)
+        runtime.submit(inputs())
+        with telemetry.session() as tel, faults.plan_session(plan):
+            results = runtime.run_until_complete()
+            counters = tel.registry.counters()
+            assert counters["runtime.worker_respawns"] >= 1
+            assert counters["runtime.items_lost"] >= 1
+        assert all(r.completed for r in results)
+        assert all(not r.evicted for r in results)
+        assert_outcomes_monotone(results)
+
+    def test_multiple_crashes_still_quiesce(self, model):
+        plan = FaultPlan(
+            seed=3,
+            specs=[FaultSpec(WORKER_STAGE_SITE, faults.CRASH, at=(0, 2, 4))],
+        )
+        runtime = make_runtime(model)
+        runtime.submit(inputs(6))
+        with faults.plan_session(plan):
+            results = runtime.run_until_complete()
+        assert len(results) == 6
+        assert all(r.completed for r in results)
+
+
+class TestDroppedResults:
+    def test_dropped_item_reaped_and_reexecuted(self, model):
+        plan = FaultPlan(
+            seed=0, specs=[FaultSpec(WORKER_STAGE_SITE, faults.DROP, at=(0, 1))]
+        )
+        runtime = make_runtime(model)
+        runtime.submit(inputs())
+        with telemetry.session() as tel, faults.plan_session(plan):
+            results = runtime.run_until_complete()
+            assert tel.registry.counters()["runtime.items_lost"] >= 2
+            assert len(tel.trace.events(telemetry.ITEM_RETRY)) >= 2
+        assert all(r.completed for r in results)
+        assert_outcomes_monotone(results)
+
+
+class TestCorruptPayloads:
+    def test_nan_confidences_never_reach_results(self, model):
+        plan = FaultPlan(
+            seed=0, specs=[FaultSpec(WORKER_STAGE_SITE, faults.CORRUPT, at=(0,))]
+        )
+        runtime = make_runtime(model)
+        runtime.submit(inputs())
+        with telemetry.session() as tel, faults.plan_session(plan):
+            results = runtime.run_until_complete()
+            assert tel.registry.counters()["runtime.corrupt_results"] == 1
+        assert all(r.completed for r in results)
+        for r in results:
+            for outcome in r.outcomes:
+                assert np.isfinite(outcome.confidence)
+                assert 0.0 <= outcome.confidence <= 1.0
+
+
+class TestHungWorkersAndStaleResults:
+    def test_late_result_of_reaped_item_discarded(self, model):
+        # One worker, hung on the very first item far past item_timeout:
+        # the watchdog reaps and re-queues the item while the worker
+        # sleeps; when the worker finally reports, its item id is gone —
+        # the result is stale and must be discarded, never double-applying
+        # a stage.  Single-worker keeps the invocation order deterministic.
+        plan = FaultPlan(
+            seed=0,
+            specs=[
+                FaultSpec(WORKER_STAGE_SITE, faults.HANG, at=(0,), latency_s=0.3)
+            ],
+        )
+        runtime = make_runtime(model, num_workers=1, item_timeout=0.04)
+        runtime.submit(inputs(2))
+        with telemetry.session() as tel, faults.plan_session(plan):
+            results = runtime.run_until_complete()
+            assert tel.registry.counters()["runtime.stale_results"] >= 1
+        assert all(r.completed for r in results)
+        assert_outcomes_monotone(results)
+
+
+class TestDispatchLatency:
+    def test_dispatch_stalls_are_survived(self, model):
+        plan = FaultPlan(
+            seed=0,
+            specs=[
+                FaultSpec(DISPATCH_SITE, faults.LATENCY, probability=0.5,
+                          latency_s=0.005)
+            ],
+        )
+        runtime = make_runtime(model)
+        runtime.submit(inputs())
+        with faults.plan_session(plan):
+            results = runtime.run_until_complete()
+        assert all(r.completed for r in results)
+
+
+class TestGracefulDegradation:
+    def test_evicted_mid_flight_task_is_flagged_degraded(self, model):
+        # One worker, FIFO: the invocation order is deterministic —
+        # (t0,s0)=0, (t0,s1)=1, (t1,s0)=2, (t1,s1)=3.  Crashing t1's
+        # stage-1 execution (and its one pre-deadline re-dispatch) leaves
+        # t1 with a stage-0 outcome only when the deadline strikes: a
+        # degraded response, served from the early exit.
+        plan = FaultPlan(
+            seed=0,
+            specs=[FaultSpec(WORKER_STAGE_SITE, faults.CRASH, at=(3, 4))],
+        )
+        runtime = make_runtime(
+            model, num_workers=1, latency_constraint=0.5, item_timeout=0.3
+        )
+        runtime.submit(inputs(2))
+        with faults.plan_session(plan):
+            results = runtime.run_until_complete()
+        t0, t1 = results
+        assert t0.completed and not t0.degraded
+        assert t0.served_stage == model.num_stages - 1
+        assert t1.evicted and t1.degraded and not t1.completed
+        assert t1.outcomes  # served from a real early exit
+        assert t1.served_stage == t1.outcomes[-1].stage == 0
+        assert t1.prediction is not None
+
+    def test_no_result_task_is_not_degraded(self, model):
+        # Everything crashes: tasks evict with no outcomes at all — that is
+        # a failure, not a degraded response.
+        plan = FaultPlan(
+            seed=0,
+            specs=[FaultSpec(WORKER_STAGE_SITE, faults.CRASH, probability=1.0)],
+        )
+        runtime = make_runtime(
+            model, latency_constraint=0.5, item_timeout=0.2
+        )
+        runtime.submit(inputs(2))
+        with faults.plan_session(plan):
+            results = runtime.run_until_complete()
+        for r in results:
+            assert r.evicted
+            assert not r.degraded
+            assert r.served_stage is None
+            assert r.prediction is None
+
+
+class TestDisarmedBehaviour:
+    def test_no_plan_no_recovery_counters(self, model):
+        runtime = make_runtime(model)
+        runtime.submit(inputs())
+        with telemetry.session() as tel:
+            results = runtime.run_until_complete()
+            counters = tel.registry.counters()
+        assert all(r.completed for r in results)
+        for name in counters:
+            assert not name.startswith("faults.")
+            assert name not in (
+                "runtime.items_lost",
+                "runtime.worker_respawns",
+                "runtime.stale_results",
+                "runtime.corrupt_results",
+            )

@@ -1,0 +1,37 @@
+"""Reusable finite-difference gradient check for the nn test suites.
+
+Every gradient test in this repo follows the same shape: build a scalar
+objective from a differentiable map, run autograd backward, and compare
+the input gradient against :func:`repro.nn.numeric_gradient` central
+differences.  :func:`gradcheck` packages that pattern once so test files
+state only the map under test, not the boilerplate.
+"""
+
+import numpy as np
+
+from repro.nn import Tensor, numeric_gradient
+
+
+def gradcheck(fn, x, atol=1e-6, eps=1e-6):
+    """Assert autograd and finite differences agree on ``sum(fn(x))``.
+
+    ``fn`` maps a :class:`Tensor` to a :class:`Tensor` of any shape; the
+    scalar objective checked is ``fn(t).sum()``.  ``fn`` must be a pure
+    function of its input *values* (stochastic layers must be in a
+    deterministic mode), but it may mutate unrelated internal state —
+    e.g. a train-mode BatchNorm updating running statistics is fine
+    because train-mode output depends only on batch statistics.
+
+    Returns the autograd gradient so callers can make further assertions.
+    """
+    x = np.asarray(x, dtype=np.float64)
+
+    def scalar(arr: np.ndarray) -> float:
+        return float(fn(Tensor(arr)).sum().data)
+
+    t = Tensor(x.copy(), requires_grad=True)
+    fn(t).sum().backward()
+    assert t.grad is not None, "no gradient reached the input"
+    numeric = numeric_gradient(scalar, x.copy(), eps=eps)
+    np.testing.assert_allclose(t.grad, numeric, atol=atol)
+    return t.grad

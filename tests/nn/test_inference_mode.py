@@ -23,13 +23,14 @@ from repro.nn import (
     Tensor,
     is_grad_enabled,
     no_grad,
-    numeric_gradient,
     set_grad_enabled,
 )
 from repro.nn import functional as F
 from repro.nn.deepsense import DeepSense, DeepSenseConfig
 from repro.nn.functional import im2col
 from repro.nn.resnet import ResidualBlock
+
+from .gradcheck import gradcheck
 
 
 # ----------------------------------------------------------------------
@@ -172,22 +173,9 @@ class TestIm2ColFastPath:
     def test_gradcheck_conv2d_through_new_im2col(self):
         rng = np.random.default_rng(2)
         x = rng.normal(size=(2, 2, 5, 5))
-        w = rng.normal(size=(3, 2, 3, 3))
-        b = rng.normal(size=(3,))
-
-        def loss_wrt_x(v):
-            return float(
-                F.conv2d(Tensor(v), Tensor(w), Tensor(b), stride=2, padding=1)
-                .sum()
-                .data
-            )
-
-        xt = Tensor(x, requires_grad=True)
-        out = F.conv2d(xt, Tensor(w), Tensor(b), stride=2, padding=1).sum()
-        out.backward()
-        np.testing.assert_allclose(
-            xt.grad, numeric_gradient(loss_wrt_x, x), atol=1e-6
-        )
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)))
+        b = Tensor(rng.normal(size=(3,)))
+        gradcheck(lambda t: F.conv2d(t, w, b, stride=2, padding=1), x)
 
 
 # ----------------------------------------------------------------------
@@ -358,16 +346,5 @@ class TestModelParity:
 class TestAvgPoolBackward:
     @pytest.mark.parametrize("kernel,stride", [(2, 2), (3, 1), (2, 1), (3, 3)])
     def test_gradcheck(self, kernel, stride):
-        rng = np.random.default_rng(6)
-        x = rng.normal(size=(2, 3, 6, 6))
-
-        def loss(v):
-            return float(
-                (F.avg_pool2d(Tensor(v), kernel=kernel, stride=stride) ** 2)
-                .sum()
-                .data
-            )
-
-        xt = Tensor(x, requires_grad=True)
-        (F.avg_pool2d(xt, kernel=kernel, stride=stride) ** 2).sum().backward()
-        np.testing.assert_allclose(xt.grad, numeric_gradient(loss, x), atol=1e-6)
+        x = np.random.default_rng(6).normal(size=(2, 3, 6, 6))
+        gradcheck(lambda t: F.avg_pool2d(t, kernel=kernel, stride=stride) ** 2, x)

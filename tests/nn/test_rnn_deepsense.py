@@ -13,8 +13,9 @@ from repro.nn import (
     Tensor,
     cross_entropy,
     gaussian_nll_mse,
-    numeric_gradient,
 )
+
+from .gradcheck import gradcheck
 
 
 class TestGRUCell:
@@ -51,15 +52,7 @@ class TestGRUCell:
     def test_gradcheck_small(self):
         rng = np.random.default_rng(4)
         cell = GRUCell(2, 2, rng=rng)
-        x = rng.normal(size=(1, 2))
-
-        def scalar(arr):
-            return float(cell(Tensor(arr)).sum().data)
-
-        t = Tensor(x.copy(), requires_grad=True)
-        cell(t).sum().backward()
-        numeric = numeric_gradient(scalar, x.copy())
-        np.testing.assert_allclose(t.grad, numeric, atol=1e-6)
+        gradcheck(lambda t: cell(t), rng.normal(size=(1, 2)))
 
 
 class TestGRU:

@@ -1,0 +1,251 @@
+"""Round-trip and rejection tests for every service request dataclass.
+
+Two properties of the message schema:
+
+1. **Round-trip**: a valid request survives ``dataclasses.asdict`` →
+   reconstruct with every field intact (serializable-by-construction,
+   as the module docstring promises).
+2. **Rejection**: invalid requests fail at *construction* with a
+   ``ValueError`` whose message names the offending field — nothing
+   invalid (negative deadlines, NaN payloads, contradictory batching
+   knobs) ever reaches an endpoint.  A seeded fuzzer sweeps randomized
+   invalid combinations on top of the hand-picked cases.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.service.messages import (
+    CalibrateRequest,
+    ClassifyRequest,
+    DeepSenseTrainRequest,
+    EstimateRequest,
+    EstimatorTrainRequest,
+    InferRequest,
+    LabelRequest,
+    ProfileRequest,
+    ReduceRequest,
+    TrainRequest,
+)
+
+
+def _rng():
+    return np.random.default_rng(0)
+
+
+def images(n=4):
+    return _rng().normal(size=(n, 1, 8, 8))
+
+
+def labels(n=4):
+    return _rng().integers(0, 3, size=n)
+
+
+#: One canonical valid construction per request type.
+VALID_FACTORIES = {
+    TrainRequest: lambda: TrainRequest(inputs=images(), labels=labels()),
+    LabelRequest: lambda: LabelRequest(
+        labeled_inputs=images(),
+        labeled_targets=labels(),
+        unlabeled_inputs=images(6),
+        num_classes=3,
+    ),
+    ReduceRequest: lambda: ReduceRequest(model_id="m", width_fraction=0.5),
+    ProfileRequest: lambda: ProfileRequest(model_id="m"),
+    CalibrateRequest: lambda: CalibrateRequest(
+        model_id="m", inputs=images(), labels=labels()
+    ),
+    InferRequest: lambda: InferRequest(model_id="m", inputs=images()),
+    DeepSenseTrainRequest: lambda: DeepSenseTrainRequest(
+        inputs=_rng().normal(size=(4, 4, 4, 8)), labels=labels()
+    ),
+    ClassifyRequest: lambda: ClassifyRequest(model_id="m", inputs=images()),
+    EstimatorTrainRequest: lambda: EstimatorTrainRequest(
+        inputs=_rng().normal(size=(6, 3)), targets=_rng().normal(size=6)
+    ),
+    EstimateRequest: lambda: EstimateRequest(
+        model_id="m", inputs=_rng().normal(size=(4, 3))
+    ),
+}
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "cls", list(VALID_FACTORIES), ids=lambda c: c.__name__
+    )
+    def test_asdict_reconstruct_preserves_every_field(self, cls):
+        original = VALID_FACTORIES[cls]()
+        rebuilt = cls(**dataclasses.asdict(original))
+        for f in dataclasses.fields(cls):
+            a, b = getattr(original, f.name), getattr(rebuilt, f.name)
+            if isinstance(a, np.ndarray):
+                np.testing.assert_array_equal(a, b)
+            else:
+                assert a == b, f.name
+
+
+def _with_nan(x):
+    x = np.array(x, dtype=np.float64)
+    x.reshape(-1)[0] = np.nan
+    return x
+
+
+def _with_inf(x):
+    x = np.array(x, dtype=np.float64)
+    x.reshape(-1)[-1] = np.inf
+    return x
+
+
+#: (id, zero-arg constructor expected to raise ValueError).
+INVALID_CASES = [
+    # -- InferRequest: scheduling knobs -------------------------------
+    ("negative-deadline", lambda: InferRequest(
+        model_id="m", inputs=images(), latency_constraint_s=-1.0)),
+    ("zero-deadline", lambda: InferRequest(
+        model_id="m", inputs=images(), latency_constraint_s=0.0)),
+    ("zero-lookahead", lambda: InferRequest(
+        model_id="m", inputs=images(), lookahead=0)),
+    ("zero-workers", lambda: InferRequest(
+        model_id="m", inputs=images(), num_workers=0)),
+    ("zero-max-batch", lambda: InferRequest(
+        model_id="m", inputs=images(), max_batch=0)),
+    ("negative-drain", lambda: InferRequest(
+        model_id="m", inputs=images(), drain_window_s=-0.1)),
+    ("drain-without-batching", lambda: InferRequest(
+        model_id="m", inputs=images(), drain_window_s=0.01, max_batch=1)),
+    ("infer-empty-inputs", lambda: InferRequest(
+        model_id="m", inputs=np.zeros((0, 1, 8, 8)))),
+    ("infer-nan-inputs", lambda: InferRequest(
+        model_id="m", inputs=_with_nan(images()))),
+    ("infer-inf-inputs", lambda: InferRequest(
+        model_id="m", inputs=_with_inf(images()))),
+    # -- TrainRequest -------------------------------------------------
+    ("train-misaligned", lambda: TrainRequest(
+        inputs=images(4), labels=labels(3))),
+    ("train-empty", lambda: TrainRequest(
+        inputs=np.zeros((0, 1, 8, 8)), labels=np.zeros(0, dtype=np.int64))),
+    ("train-zero-epochs", lambda: TrainRequest(
+        inputs=images(), labels=labels(), epochs=0)),
+    ("train-zero-lr", lambda: TrainRequest(
+        inputs=images(), labels=labels(), learning_rate=0.0)),
+    ("train-zero-batch", lambda: TrainRequest(
+        inputs=images(), labels=labels(), batch_size=0)),
+    ("train-nan-inputs", lambda: TrainRequest(
+        inputs=_with_nan(images()), labels=labels())),
+    # -- LabelRequest -------------------------------------------------
+    ("label-bad-method", lambda: LabelRequest(
+        labeled_inputs=images(), labeled_targets=labels(),
+        unlabeled_inputs=images(), num_classes=3, method="guess")),
+    ("label-one-class", lambda: LabelRequest(
+        labeled_inputs=images(), labeled_targets=labels(),
+        unlabeled_inputs=images(), num_classes=1)),
+    ("label-misaligned", lambda: LabelRequest(
+        labeled_inputs=images(4), labeled_targets=labels(3),
+        unlabeled_inputs=images(), num_classes=3)),
+    ("label-zero-rounds", lambda: LabelRequest(
+        labeled_inputs=images(), labeled_targets=labels(),
+        unlabeled_inputs=images(), num_classes=3, rounds=0)),
+    ("label-nan-unlabeled", lambda: LabelRequest(
+        labeled_inputs=images(), labeled_targets=labels(),
+        unlabeled_inputs=_with_nan(images()), num_classes=3)),
+    # -- ReduceRequest ------------------------------------------------
+    ("reduce-zero-width", lambda: ReduceRequest(
+        model_id="m", width_fraction=0.0)),
+    ("reduce-overwide", lambda: ReduceRequest(
+        model_id="m", width_fraction=1.5)),
+    ("reduce-zero-params", lambda: ReduceRequest(
+        model_id="m", max_parameters=0)),
+    ("reduce-zero-epochs", lambda: ReduceRequest(model_id="m", epochs=0)),
+    # -- CalibrateRequest ---------------------------------------------
+    ("calibrate-misaligned", lambda: CalibrateRequest(
+        model_id="m", inputs=images(4), labels=labels(2))),
+    ("calibrate-zero-epochs", lambda: CalibrateRequest(
+        model_id="m", inputs=images(), labels=labels(), epochs=0)),
+    ("calibrate-nan-inputs", lambda: CalibrateRequest(
+        model_id="m", inputs=_with_nan(images()), labels=labels())),
+    # -- DeepSenseTrainRequest ----------------------------------------
+    ("deepsense-bad-rank", lambda: DeepSenseTrainRequest(
+        inputs=_rng().normal(size=(4, 8)), labels=labels())),
+    ("deepsense-zero-steps", lambda: DeepSenseTrainRequest(
+        inputs=_rng().normal(size=(4, 4, 4, 8)), labels=labels(), steps=0)),
+    ("deepsense-zero-batch", lambda: DeepSenseTrainRequest(
+        inputs=_rng().normal(size=(4, 4, 4, 8)), labels=labels(),
+        batch_size=0)),
+    ("deepsense-zero-lr", lambda: DeepSenseTrainRequest(
+        inputs=_rng().normal(size=(4, 4, 4, 8)), labels=labels(),
+        learning_rate=0.0)),
+    ("deepsense-nan", lambda: DeepSenseTrainRequest(
+        inputs=_with_nan(_rng().normal(size=(4, 4, 4, 8))), labels=labels())),
+    # -- ClassifyRequest ----------------------------------------------
+    ("classify-zero-microbatch", lambda: ClassifyRequest(
+        model_id="m", inputs=images(), micro_batch=0)),
+    ("classify-empty", lambda: ClassifyRequest(
+        model_id="m", inputs=np.zeros((0, 1, 8, 8)))),
+    ("classify-nan", lambda: ClassifyRequest(
+        model_id="m", inputs=_with_nan(images()))),
+    # -- EstimatorTrainRequest ----------------------------------------
+    ("estimator-misaligned", lambda: EstimatorTrainRequest(
+        inputs=_rng().normal(size=(5, 3)), targets=_rng().normal(size=4))),
+    ("estimator-bad-weight", lambda: EstimatorTrainRequest(
+        inputs=_rng().normal(size=(5, 3)), targets=_rng().normal(size=5),
+        loss_weight=1.5)),
+    ("estimator-zero-hidden", lambda: EstimatorTrainRequest(
+        inputs=_rng().normal(size=(5, 3)), targets=_rng().normal(size=5),
+        hidden=0)),
+    ("estimator-zero-steps", lambda: EstimatorTrainRequest(
+        inputs=_rng().normal(size=(5, 3)), targets=_rng().normal(size=5),
+        steps=0)),
+    ("estimator-nan-targets", lambda: EstimatorTrainRequest(
+        inputs=_rng().normal(size=(5, 3)),
+        targets=_with_nan(_rng().normal(size=5)))),
+    # -- EstimateRequest ----------------------------------------------
+    ("estimate-level-zero", lambda: EstimateRequest(
+        model_id="m", inputs=_rng().normal(size=(4, 3)),
+        confidence_level=0.0)),
+    ("estimate-level-one", lambda: EstimateRequest(
+        model_id="m", inputs=_rng().normal(size=(4, 3)),
+        confidence_level=1.0)),
+    ("estimate-nan", lambda: EstimateRequest(
+        model_id="m", inputs=_with_nan(_rng().normal(size=(4, 3))))),
+]
+
+
+class TestRejection:
+    @pytest.mark.parametrize(
+        "build", [c[1] for c in INVALID_CASES], ids=[c[0] for c in INVALID_CASES]
+    )
+    def test_invalid_request_rejected_with_clear_error(self, build):
+        with pytest.raises(ValueError) as excinfo:
+            build()
+        # The error must say *what* is wrong, not just that something is.
+        assert len(str(excinfo.value)) > 10
+
+
+class TestFuzzedInvalidCombos:
+    """Randomized sweep: any mutation from the catalogue must reject."""
+
+    MUTATIONS = [
+        lambda rng: {"latency_constraint_s": -float(rng.uniform(0.1, 10))},
+        lambda rng: {"lookahead": -int(rng.integers(0, 5))},
+        lambda rng: {"num_workers": -int(rng.integers(0, 3))},
+        lambda rng: {"max_batch": -int(rng.integers(0, 3))},
+        lambda rng: {"drain_window_s": -float(rng.uniform(0.01, 1))},
+        lambda rng: {"drain_window_s": float(rng.uniform(0.01, 1)),
+                     "max_batch": 1},
+        lambda rng: {"inputs": _with_nan(images())},
+        lambda rng: {"inputs": _with_inf(images())},
+        lambda rng: {"inputs": np.zeros((0, 1, 8, 8))},
+    ]
+
+    @pytest.mark.parametrize("seed", range(24))
+    def test_fuzzed_infer_request_always_rejected(self, seed):
+        rng = np.random.default_rng(seed)
+        overrides = {"model_id": "m", "inputs": images()}
+        # Apply 1–3 mutations; at least one invalidates the request.
+        for i in rng.choice(len(self.MUTATIONS), size=rng.integers(1, 4),
+                            replace=False):
+            overrides.update(self.MUTATIONS[i](rng))
+        with pytest.raises(ValueError):
+            InferRequest(**overrides)

@@ -1,5 +1,6 @@
 """Unit tests for the metric instruments and the registry."""
 
+import math
 import threading
 
 import numpy as np
@@ -86,11 +87,29 @@ class TestHistogram:
         assert h.min == 1.0
         assert h.max == 9.0
 
-    def test_empty_histogram(self):
+    def test_empty_histogram_returns_nan_sentinel(self):
+        # Regression: quantiles of an empty histogram used to read 0.0,
+        # indistinguishable from a real zero-latency observation.  The
+        # documented sentinel is nan for every statistic but count/sum.
         h = Histogram("h")
         assert h.count == 0
-        assert h.quantile(0.5) == 0.0
-        assert h.summary()["p99"] == 0.0
+        assert h.sum == 0.0
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert math.isnan(h.quantile(q))
+        assert math.isnan(h.mean)
+        assert math.isnan(h.min)
+        assert math.isnan(h.max)
+        summary = h.summary()
+        assert summary["count"] == 0.0
+        assert summary["sum"] == 0.0
+        for key in ("mean", "min", "max", "p50", "p95", "p99"):
+            assert math.isnan(summary[key]), key
+
+    def test_nan_sentinel_clears_after_first_observation(self):
+        h = Histogram("h")
+        h.observe(3.0)
+        assert h.quantile(0.5) == pytest.approx(3.0)
+        assert h.mean == pytest.approx(3.0)
 
     def test_quantile_clamped_to_observed_range(self):
         h = Histogram("h")
