@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos bench bench-fast bench-telemetry examples experiments clean
+.PHONY: install test chaos overload overload-smoke bench bench-fast bench-telemetry bench-admission examples experiments clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -14,6 +14,13 @@ chaos:
 	$(PYTHON) -m pytest tests/faults -q
 	$(PYTHON) -m repro.cli chaos --seed 0
 
+overload:
+	$(PYTHON) -m repro.cli overload --seed 0
+
+overload-smoke:
+	$(PYTHON) -m pytest tests/admission tests/faults/test_overload_invariants.py -q
+	$(PYTHON) -m repro.cli overload --smoke --seed 0
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
@@ -22,6 +29,9 @@ bench-fast:
 
 bench-telemetry:
 	$(PYTHON) -m pytest benchmarks/test_telemetry_overhead.py --benchmark-only -s
+
+bench-admission:
+	$(PYTHON) -m pytest benchmarks/test_admission_overhead.py --benchmark-only -s
 
 examples:
 	$(PYTHON) examples/quickstart.py

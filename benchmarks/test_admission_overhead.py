@@ -1,0 +1,90 @@
+"""Admission-gate overhead guard — disabled admission must be free.
+
+Every gated endpoint passes through ``_admission_gate``, which, when the
+service was built without an :class:`AdmissionController` (the default),
+reduces to a single attribute read plus a ``None`` check.  This bench
+drives the same no-grad micro-batched computation two ways:
+
+- **baseline** — the raw fast path: ``predict_proba`` over micro-batches
+  with no endpoint plumbing at all;
+- **gated** — the full ``service.classify`` endpoint with admission,
+  telemetry, and fault injection all disabled (the default-off stack).
+
+The acceptance bar: the gated path stays within 5% of the baseline, so
+shipping admission control in every endpoint costs nothing until a
+controller is actually installed.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.service import ClassifyRequest, EugeneService
+
+MICRO_BATCH = 16
+NUM_IMAGES = 64
+REPEATS = 7
+
+
+def _best_time(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.benchmark(group="admission")
+def test_disabled_admission_within_five_percent(benchmark, artifacts, record_result):
+    telemetry.disable()
+    model = artifacts.model
+    model.eval()
+    x = np.asarray(artifacts.test_set.inputs[:NUM_IMAGES], dtype=np.float64)
+
+    service = EugeneService(seed=0)  # no AdmissionController: gate is off
+    assert service.admission is None
+    entry = service.registry.register("bench", model)
+
+    def baseline():
+        inputs = np.asarray(x, dtype=np.float64)
+        probs = np.concatenate(
+            [
+                model.predict_proba(inputs[i : i + MICRO_BATCH])[-1]
+                for i in range(0, len(inputs), MICRO_BATCH)
+            ],
+            axis=0,
+        )
+        return probs.argmax(axis=-1), probs.max(axis=-1)
+
+    def gated():
+        return service.classify(
+            ClassifyRequest(
+                model_id=entry.model_id, inputs=x, micro_batch=MICRO_BATCH
+            )
+        )
+
+    baseline()  # warm scratch buffers
+    gated()
+
+    def measure():
+        return _best_time(baseline), _best_time(gated)
+
+    t_base, t_gated = benchmark.pedantic(measure, rounds=1, iterations=1)
+    overhead = t_gated / t_base - 1.0
+    record_result(
+        "admission_overhead",
+        "\n".join(
+            [
+                f"baseline no-grad batched path : {1e3 * t_base:8.2f} ms",
+                f"gated endpoint (admission off): {1e3 * t_gated:8.2f} ms",
+                f"overhead                      : {100 * overhead:+8.2f} %",
+            ]
+        ),
+    )
+    assert t_gated <= 1.05 * t_base, (
+        f"disabled admission costs {100 * overhead:.1f}% "
+        f"({1e3 * t_gated:.2f} ms vs {1e3 * t_base:.2f} ms baseline)"
+    )

@@ -1,0 +1,83 @@
+"""Queue-level admission configuration shared by runtime and simulator.
+
+:class:`AdmissionConfig` bounds the *ingress queue* of a serving loop —
+the tasks admitted but not yet executing — and decides what happens to the
+excess: degrade it to an earlier exit stage first (cheap, still useful),
+shed it outright second (explicit, typed, never silent).  It plugs into
+:class:`~repro.scheduler.runtime.RuntimeConfig` and
+:class:`~repro.scheduler.simulator.SimulationConfig`; ``None`` (the
+default everywhere) keeps the pre-admission behaviour bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .shedding import SHED_POLICIES, UTILITY
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Bounded-queue and overload-response knobs for one serving loop."""
+
+    #: hard bound on tasks admitted but not executing; excess is shed.
+    #: ``None`` = unbounded (the legacy behaviour).
+    max_queue_depth: Optional[int] = None
+    #: soft bound: above it, excess tasks are *degraded* (stage-capped to
+    #: ``degrade_stage_cap``) instead of served in full — the
+    #: degrade-before-drop mode.  Must be <= max_queue_depth when both set.
+    degrade_queue_depth: Optional[int] = None
+    #: early-exit stage cap applied to degraded tasks (1 = first exit only).
+    degrade_stage_cap: int = 1
+    #: which excess work to drop first: "utility" (lowest expected utility,
+    #: via the scheduler's confidence predictions) or "tail" (newest first).
+    shed_policy: str = UTILITY
+    #: token-bucket arrival limit applied by the simulator's open-loop
+    #: ingress (the runtime takes whole batches, so rate limiting lives at
+    #: the service endpoints there).  ``None`` = unlimited.
+    rate_limit_per_s: Optional[float] = None
+    #: bucket size for ``rate_limit_per_s``; defaults to max(1, rate).
+    burst: Optional[float] = None
+    #: base retry-after hint attached to shed/rejected work.
+    retry_after_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth is not None and self.max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0 when given")
+        if self.degrade_queue_depth is not None:
+            if self.degrade_queue_depth < 0:
+                raise ValueError("degrade_queue_depth must be >= 0 when given")
+            if (
+                self.max_queue_depth is not None
+                and self.degrade_queue_depth > self.max_queue_depth
+            ):
+                raise ValueError(
+                    "degrade_queue_depth must not exceed max_queue_depth: "
+                    "degrade is the softer response and must trigger first"
+                )
+        if self.degrade_stage_cap < 1:
+            raise ValueError("degrade_stage_cap must be >= 1")
+        if self.shed_policy not in SHED_POLICIES:
+            raise ValueError(
+                f"unknown shed policy {self.shed_policy!r}; "
+                f"use one of {SHED_POLICIES}"
+            )
+        if self.rate_limit_per_s is not None and self.rate_limit_per_s <= 0:
+            raise ValueError("rate_limit_per_s must be positive when given")
+        if self.burst is not None:
+            if self.rate_limit_per_s is None:
+                raise ValueError("burst requires rate_limit_per_s")
+            if self.burst < 1:
+                raise ValueError("burst must allow at least one task")
+        if self.retry_after_s < 0:
+            raise ValueError("retry_after_s must be non-negative")
+
+    @property
+    def bounded(self) -> bool:
+        """Does this config constrain anything at all?"""
+        return (
+            self.max_queue_depth is not None
+            or self.degrade_queue_depth is not None
+            or self.rate_limit_per_s is not None
+        )

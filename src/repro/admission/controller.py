@@ -1,0 +1,196 @@
+"""Admission decisions for the service ingress (per endpoint, per model).
+
+The controller is the front door of :class:`~repro.service.EugeneService`:
+every gated endpoint asks it before doing any work.  The answer is a typed
+:class:`AdmissionDecision` — never an exception and never a silent queue —
+so a saturated service degrades into explicit, retry-hinted rejections
+(:class:`~repro.service.messages.RejectedResponse` on the wire).
+
+Limits compose: a request must clear the *endpoint* limiter and, when it
+names a model, the *model* limiter.  Each limiter is a token bucket
+(sustained rate + burst) plus an optional concurrency bound.  Telemetry
+(when enabled) counts admissions and rejections per key and traces each
+rejection with its retry-after hint.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .. import telemetry
+from .limits import ConcurrencyLimiter, TokenBucket
+
+#: Rejection reasons carried by decisions and :class:`RejectedResponse`.
+RATE_LIMIT = "rate-limit"
+CONCURRENCY = "concurrency"
+QUEUE_FULL = "queue-full"
+SHED = "shed"
+REJECT_REASONS = (RATE_LIMIT, CONCURRENCY, QUEUE_FULL, SHED)
+
+
+@dataclass(frozen=True)
+class EndpointLimits:
+    """Ingress limits for one admission key (an endpoint or a model)."""
+
+    #: sustained admission rate; ``None`` = unlimited.
+    rate_per_s: Optional[float] = None
+    #: bucket size (burst tolerance); defaults to ``max(1, rate_per_s)``.
+    burst: Optional[float] = None
+    #: concurrent requests past admission; ``None`` = unlimited.
+    max_concurrent: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s is not None and self.rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive when given")
+        if self.burst is not None:
+            if self.rate_per_s is None:
+                raise ValueError("burst requires rate_per_s")
+            if self.burst < 1:
+                raise ValueError("burst must allow at least one request")
+        if self.max_concurrent is not None and self.max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1 when given")
+
+    @property
+    def unlimited(self) -> bool:
+        return self.rate_per_s is None and self.max_concurrent is None
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    key: str
+    reason: Optional[str] = None
+    #: hint for the client's retry-after aware RetryPolicy; 0 = retry freely.
+    retry_after_s: float = 0.0
+
+
+class _KeyState:
+    """The live limiters for one admission key."""
+
+    __slots__ = ("bucket", "concurrency")
+
+    def __init__(self, limits: EndpointLimits) -> None:
+        self.bucket = (
+            TokenBucket(limits.rate_per_s, limits.burst)
+            if limits.rate_per_s is not None
+            else None
+        )
+        self.concurrency = (
+            ConcurrencyLimiter(limits.max_concurrent)
+            if limits.max_concurrent is not None
+            else None
+        )
+
+
+class AdmissionController:
+    """Checks (and meters) every gated request against its limits.
+
+    ``default`` applies to every endpoint without an explicit entry in
+    ``per_endpoint``; ``per_model`` keys are model ids.  A ``None`` default
+    leaves unlisted endpoints ungated.
+    """
+
+    def __init__(
+        self,
+        default: Optional[EndpointLimits] = None,
+        per_endpoint: Optional[Dict[str, EndpointLimits]] = None,
+        per_model: Optional[Dict[str, EndpointLimits]] = None,
+        retry_after_floor_s: float = 0.01,
+    ) -> None:
+        if retry_after_floor_s < 0:
+            raise ValueError("retry_after_floor_s must be non-negative")
+        self.default = default
+        self.per_endpoint = dict(per_endpoint or {})
+        self.per_model = dict(per_model or {})
+        self.retry_after_floor_s = retry_after_floor_s
+        self._states: Dict[Tuple[str, str], _KeyState] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _limits_for(self, scope: str, key: str) -> Optional[EndpointLimits]:
+        if scope == "model":
+            return self.per_model.get(key)
+        return self.per_endpoint.get(key, self.default)
+
+    def _state_for(self, scope: str, key: str) -> Optional[_KeyState]:
+        limits = self._limits_for(scope, key)
+        if limits is None or limits.unlimited:
+            return None
+        with self._lock:
+            state = self._states.get((scope, key))
+            if state is None:
+                state = self._states[(scope, key)] = _KeyState(limits)
+            return state
+
+    def _reject(
+        self, key: str, reason: str, retry_after_s: float
+    ) -> AdmissionDecision:
+        retry_after_s = max(retry_after_s, self.retry_after_floor_s)
+        tel = telemetry.active()
+        if tel is not None:
+            tel.registry.counter(f"admission.rejected.{key}").inc()
+            tel.registry.counter(f"admission.rejected_by_reason.{reason}").inc()
+            tel.trace.admission_reject(0.0, key, reason, retry_after_s)
+        return AdmissionDecision(
+            admitted=False, key=key, reason=reason, retry_after_s=retry_after_s
+        )
+
+    # ------------------------------------------------------------------
+    def admit(
+        self, endpoint: str, model_id: Optional[str] = None
+    ) -> AdmissionDecision:
+        """Admit or reject one request; admitted requests hold one
+        concurrency slot per matched limiter until :meth:`release`."""
+        checks = [("endpoint", endpoint)]
+        if model_id is not None:
+            checks.append(("model", model_id))
+        acquired = []
+        for scope, key in checks:
+            state = self._state_for(scope, key)
+            if state is None:
+                continue
+            label = key if scope == "endpoint" else f"model:{key}"
+            if state.bucket is not None and not state.bucket.try_acquire():
+                decision = self._reject(
+                    label, RATE_LIMIT, state.bucket.retry_after()
+                )
+                break
+            if state.concurrency is not None and not state.concurrency.try_acquire():
+                decision = self._reject(
+                    label, CONCURRENCY, self.retry_after_floor_s
+                )
+                break
+            acquired.append(state)
+        else:
+            tel = telemetry.active()
+            if tel is not None:
+                tel.registry.counter(f"admission.admitted.{endpoint}").inc()
+            return AdmissionDecision(admitted=True, key=endpoint)
+        # Roll back concurrency slots taken before the failing check.
+        for state in acquired:
+            if state.concurrency is not None:
+                state.concurrency.release()
+        return decision
+
+    def release(self, endpoint: str, model_id: Optional[str] = None) -> None:
+        """Return the concurrency slots an admitted request held."""
+        checks = [("endpoint", endpoint)]
+        if model_id is not None:
+            checks.append(("model", model_id))
+        for scope, key in checks:
+            state = self._state_for(scope, key)
+            if state is not None and state.concurrency is not None:
+                state.concurrency.release()
+
+    # ------------------------------------------------------------------
+    def in_flight(self, endpoint: str) -> int:
+        """Requests currently past admission for ``endpoint`` (0 if the
+        endpoint has no concurrency limiter)."""
+        state = self._state_for("endpoint", endpoint)
+        if state is None or state.concurrency is None:
+            return 0
+        return state.concurrency.in_flight

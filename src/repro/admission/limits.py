@@ -1,0 +1,98 @@
+"""Rate and concurrency limiters — the mechanical half of admission control.
+
+Both limiters are deliberately tiny, deterministic, and clock-injectable:
+the :class:`~repro.scheduler.simulator.PoolSimulator` drives them on
+virtual time (every decision is a pure function of the timestamps it is
+fed), while the live service drives them on ``time.monotonic``.  Thread
+safety matters only for the live path, so each limiter carries its own
+lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+
+class TokenBucket:
+    """Classic token-bucket rate limiter.
+
+    Tokens refill continuously at ``rate_per_s`` up to ``burst``; each
+    admitted request consumes one.  :meth:`retry_after` converts the token
+    deficit back into the seconds a rejected caller should wait — the
+    retry-after hint carried by a typed rejection.
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        if burst is not None and burst < 1:
+            raise ValueError("burst must allow at least one token")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst) if burst is not None else max(1.0, rate_per_s)
+        self._clock = clock
+        self._tokens = self.burst
+        self._refilled_at = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._refilled_at)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate_per_s)
+        self._refilled_at = now
+
+    def try_acquire(self, now: Optional[float] = None) -> bool:
+        """Consume one token if available; ``now`` overrides the clock
+        (virtual-time callers must pass a monotone sequence)."""
+        with self._lock:
+            self._refill(self._clock() if now is None else now)
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            return False
+
+    def retry_after(self, now: Optional[float] = None) -> float:
+        """Seconds until one token will be available (0 if one already is)."""
+        with self._lock:
+            self._refill(self._clock() if now is None else now)
+            deficit = 1.0 - self._tokens
+            return max(0.0, deficit / self.rate_per_s)
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            return self._tokens
+
+
+class ConcurrencyLimiter:
+    """Bounds the number of requests simultaneously past admission."""
+
+    def __init__(self, max_concurrent: int) -> None:
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        self.max_concurrent = max_concurrent
+        self._in_flight = 0
+        self._lock = threading.Lock()
+
+    def try_acquire(self) -> bool:
+        with self._lock:
+            if self._in_flight >= self.max_concurrent:
+                return False
+            self._in_flight += 1
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            if self._in_flight == 0:
+                raise RuntimeError("release() without a matching acquire")
+            self._in_flight -= 1
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight

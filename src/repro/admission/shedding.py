@@ -1,0 +1,104 @@
+"""Utility-aware load shedding (the "which work to drop" half).
+
+When the system is saturated, dropping *some* work is forced; the paper's
+objective (maximize total service utility, Sec. III) says exactly which:
+the work with the lowest *expected* utility.  This module scores queued
+tasks with the same confidence predictions the scheduler already uses
+(:class:`~repro.scheduler.confidence.ConfidencePredictor`), discounted by
+deadline feasibility — a task whose latency constraint cannot cover even
+one more stage delivers nothing, so it is always the first to shed.
+
+Both the real runtime and the discrete-event simulator call
+:func:`select_shed`, so the live and simulated overload experiments shed
+identically given identical views.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # import only for annotations: keeps this package free of
+    # a runtime dependency on repro.scheduler (which imports us back).
+    from ..scheduler.task import TaskView
+
+#: Shed-policy names accepted by :class:`AdmissionConfig`.
+UTILITY = "utility"  # drop lowest expected utility first
+TAIL = "tail"  # drop newest arrivals first (FIFO-style backpressure)
+SHED_POLICIES = (UTILITY, TAIL)
+
+
+def reachable_stage(view: "TaskView", now: float, stage_time_s: float) -> int:
+    """Highest stage index the task can still complete before its deadline.
+
+    ``stage_time_s`` is the (estimated) execution time of one stage; 0 means
+    "unknown" and disables the feasibility discount.  Returns -1 when not
+    even the next stage fits (the task is doomed to serve only what it has).
+    """
+    last = view.num_stages - 1
+    if stage_time_s <= 0:
+        return last
+    slack = view.deadline - now
+    fits = int(slack / stage_time_s)
+    if fits <= 0:
+        return view.stages_done - 1
+    return min(last, view.stages_done + fits - 1)
+
+
+def expected_utility(
+    view: "TaskView",
+    predictor: Optional[object],
+    now: float,
+    stage_time_s: float = 0.0,
+) -> float:
+    """Expected utility of continuing to serve ``view``.
+
+    Utility is the confidence of the answer the task would deliver (the
+    paper sets utility equal to estimated confidence).  The estimate is the
+    scheduler's own prediction at the highest *feasible* stage; a task that
+    can finish nothing new is worth only what it already holds.
+    """
+    target = reachable_stage(view, now, stage_time_s)
+    held = view.latest_confidence or 0.0
+    if target < view.stages_done:
+        return held
+    if predictor is None:
+        # No predictor: optimism proportional to how far the task can go.
+        return max(held, (target + 1) / view.num_stages)
+    if view.stages_done == 0:
+        return float(predictor.prior(target))
+    predicted = predictor.predict(view.stages_done - 1, held, target)
+    return float(max(held, predicted))
+
+
+def select_shed(
+    views: Sequence["TaskView"],
+    num_to_shed: int,
+    predictor: Optional[object] = None,
+    now: float = 0.0,
+    stage_time_s: float = 0.0,
+    policy: str = UTILITY,
+) -> List[int]:
+    """Task ids to drop so that ``len(views) - num_to_shed`` remain.
+
+    ``utility`` drops the lowest expected utility first (ties: newest
+    arrival, then highest task id, so the choice is deterministic);
+    ``tail`` drops the newest arrivals outright.
+    """
+    if policy not in SHED_POLICIES:
+        raise ValueError(f"unknown shed policy {policy!r}; use one of {SHED_POLICIES}")
+    if num_to_shed <= 0:
+        return []
+    if num_to_shed >= len(views):
+        return [v.task_id for v in views]
+    if policy == TAIL:
+        ranked = sorted(views, key=lambda v: (v.arrival_time, v.task_id), reverse=True)
+    else:
+        ranked = sorted(
+            views,
+            key=lambda v: (
+                expected_utility(v, predictor, now, stage_time_s),
+                -v.arrival_time,
+                -v.task_id,
+            ),
+        )
+    return [v.task_id for v in ranked[:num_to_shed]]

@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli all
     python -m repro.cli metrics [--json] [--events]
     python -m repro.cli chaos [--json] [--seed N]
+    python -m repro.cli overload [--json] [--smoke] [--seed N]
 
 The first run of the model-backed experiments trains the benchmark model
 (~4 minutes) and caches it under ``.bench_cache/``.
@@ -25,6 +26,14 @@ results, transient endpoint errors) and prints the fault log, the
 recovery counters (retries, respawns, re-dispatches, degraded responses)
 and the invariant checks the chaos test suite asserts.  The same seed
 always produces the same fault sequence.
+
+``overload`` runs the open-loop overload sweep (docs/OVERLOAD.md):
+offered load swept past capacity, a FIFO/no-admission baseline against
+the utility scheduler under :class:`repro.admission.AdmissionConfig`
+bounds; exits non-zero if graceful degradation fails (utility below the
+baseline or queue bound exceeded past 2x capacity).  ``--smoke`` swaps
+the trained benchmark artifacts for synthetic oracles so CI can run the
+sweep in seconds.
 """
 
 from __future__ import annotations
@@ -348,6 +357,59 @@ def _chaos_main(argv) -> int:
         telemetry.disable()
 
 
+def _overload_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro overload",
+        description=(
+            "Open-loop overload sweep: offered load past capacity, with "
+            "and without admission control (see docs/OVERLOAD.md)."
+        ),
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="use synthetic oracles instead of the trained benchmark "
+        "artifacts (seconds instead of minutes; the CI smoke path)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--tasks", type=int, default=None, help="override the task count"
+    )
+    args = parser.parse_args(argv)
+
+    from .experiments.openloop import OverloadConfig, format_overload, run_overload
+
+    config = OverloadConfig(seed=args.seed)
+    if args.tasks is not None:
+        config.num_tasks = args.tasks
+    results = run_overload(config=config, synthetic=args.smoke)
+    if args.json:
+        import json
+
+        print(json.dumps(results, indent=2))
+    else:
+        print(format_overload(results))
+
+    # Graceful-degradation sanity: past capacity, the managed setup must
+    # accrue at least the baseline's utility and keep the queue bounded.
+    failures = []
+    base = {r["load_factor"]: r for r in results["fifo-baseline"]}
+    for row in results["admission"]:
+        load = row["load_factor"]
+        if load < 2.0:
+            continue
+        if row["utility"] < base[load]["utility"]:
+            failures.append(f"utility below baseline at load {load:g}")
+        if row["peak_queue_depth"] > config.max_queue_depth:
+            failures.append(f"queue bound exceeded at load {load:g}")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "table1": _table1,
     "fig2": _fig2,
@@ -368,6 +430,8 @@ def main(argv=None) -> int:
         return _metrics_main(argv[1:])
     if argv and argv[0] == "chaos":
         return _chaos_main(argv[1:])
+    if argv and argv[0] == "overload":
+        return _overload_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",

@@ -200,6 +200,11 @@ class CachedInferenceService:
         self.stats = CacheStats()
         self.cached: Optional[ReducedClassModel] = None
         self._recent_hits: Deque[bool] = deque(maxlen=hit_window)
+        #: parameter ratio (reduced/full) of the most recently *installed*
+        #: reduced model.  Survives invalidation: latency accounting for a
+        #: "server-after-miss" query must charge the cost of the small
+        #: model that actually ran at miss time, not the full device cost.
+        self._cached_ratio: Optional[float] = None
 
     # ------------------------------------------------------------------
     def _maybe_install(self) -> None:
@@ -219,6 +224,9 @@ class CachedInferenceService:
             model=reduced,
             class_map=class_map,
             confidence_threshold=self.confidence_threshold,
+        )
+        self._cached_ratio = (
+            reduced.num_parameters() / self.server_model.num_parameters()
         )
         self.stats.installs += 1
         self._recent_hits.clear()
@@ -275,12 +283,18 @@ class CachedInferenceService:
         """Modelled per-query latency for each provenance class."""
         device_infer = server_infer_ms * self.device.compute_slowdown
         if source == "cache":
-            # Reduced model is far smaller; scale by parameter ratio.
+            # Reduced model is far smaller; scale by parameter ratio.  With
+            # no model currently installed, fall back to the ratio of the
+            # last one installed: an invalidated cache's miss-time local
+            # attempts ran *that* model, so charging the full device cost
+            # (ratio 1.0) would overstate the miss penalty.
             if self.cached is not None:
                 ratio = (
                     self.cached.model.num_parameters()
                     / self.server_model.num_parameters()
                 )
+            elif self._cached_ratio is not None:
+                ratio = self._cached_ratio
             else:
                 ratio = 1.0
             return device_infer * ratio

@@ -13,10 +13,11 @@ measure service accuracy and eviction rates per policy, for both smooth
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..admission import AdmissionConfig
 from ..scheduler.arrivals import bursty_arrivals, poisson_arrivals
 from ..scheduler.confidence import GPConfidencePredictor
 from ..scheduler.policies import FIFOPolicy, RoundRobinPolicy, RTDeepIoTPolicy
@@ -86,6 +87,158 @@ def run_openloop(
                     }
                 )
     return results
+
+
+@dataclass
+class OverloadConfig:
+    """Parameters of the admission-control overload sweep."""
+
+    num_workers: int = 2
+    concurrency: int = 4
+    latency_constraint: float = 6.0
+    num_tasks: int = 150
+    #: offered load as a multiple of capacity; deliberately extends well
+    #: past 1.0 — graceful degradation under overload is the point.
+    load_factors: Sequence[float] = (0.5, 1.0, 2.0, 3.0)
+    #: admission bounds applied by the managed setup.
+    max_queue_depth: int = 8
+    degrade_queue_depth: int = 4
+    degrade_stage_cap: int = 1
+    seed: int = 0
+
+
+def synthetic_overload_inputs(
+    num_tasks: int, num_stages: int = 3, seed: int = 0
+) -> Tuple[List[TaskOracle], GPConfidencePredictor]:
+    """Oracles + fitted predictor without trained artifacts.
+
+    The CI smoke path: overload dynamics depend on arrival statistics and
+    the shape of the confidence curves, not on a particular trained model,
+    so synthetic monotone curves (confidence rising with stage, correctness
+    sampled at the stated confidence) exercise the full admission pipeline
+    in seconds.
+    """
+    rng = np.random.default_rng(seed)
+    final = rng.uniform(0.45, 0.98, size=num_tasks)
+    confs = np.empty((num_stages, num_tasks))
+    for s in range(num_stages):
+        frac = (s + 1) / num_stages
+        confs[s] = np.clip(
+            final * (0.45 + 0.55 * frac) + rng.normal(0.0, 0.02, num_tasks),
+            0.05,
+            0.995,
+        )
+    oracles = [
+        TaskOracle(
+            confidences=tuple(confs[:, i]),
+            predictions=tuple(1 for _ in range(num_stages)),
+            correct=tuple(
+                bool(rng.random() < confs[s, i]) for s in range(num_stages)
+            ),
+        )
+        for i in range(num_tasks)
+    ]
+    predictor = GPConfidencePredictor(
+        num_classes=10, max_fit_points=120, seed=seed
+    ).fit(confs)
+    return oracles, predictor
+
+
+def run_overload(
+    artifacts: BenchmarkArtifacts = None,
+    config: OverloadConfig = None,
+    synthetic: bool = False,
+) -> Dict[str, List[Dict[str, float]]]:
+    """Sweep offered load past capacity, with and without admission control.
+
+    Two setups over identical Poisson workloads:
+
+    - ``fifo-baseline`` — FIFO scheduling, no admission control: the
+      ingress queue grows without bound and queued tasks expire unserved;
+    - ``admission`` — the utility scheduler plus :class:`AdmissionConfig`
+      bounds: the queue is capped, the lowest-expected-utility tasks are
+      shed at ingress, and tasks admitted into a congested system are
+      capped at an early exit (degrade-before-drop).
+
+    Rows report goodput, p99 latency of served tasks, shed/eviction
+    fractions, accrued utility, and the peak ingress-queue depth — the
+    acceptance metrics of docs/OVERLOAD.md.
+    """
+    config = config or OverloadConfig()
+    if synthetic:
+        oracles, predictor = synthetic_overload_inputs(
+            config.num_tasks, seed=config.seed
+        )
+    else:
+        artifacts = artifacts or get_benchmark_artifacts()
+        oracles = TaskOracle.table_from_outputs(artifacts.test_outputs)[
+            : config.num_tasks
+        ]
+        predictor = GPConfidencePredictor(
+            num_classes=artifacts.model.config.num_classes, seed=0
+        ).fit(artifacts.train_outputs["confidences"])
+    num_stages = oracles[0].num_stages
+    capacity = config.num_workers / float(num_stages)  # tasks/s, unit stages
+
+    admission = AdmissionConfig(
+        max_queue_depth=config.max_queue_depth,
+        degrade_queue_depth=config.degrade_queue_depth,
+        degrade_stage_cap=config.degrade_stage_cap,
+    )
+    setups: Dict[str, Tuple[Callable, Optional[AdmissionConfig]]] = {
+        "fifo-baseline": (FIFOPolicy, None),
+        "admission": (lambda: RTDeepIoTPolicy(predictor, k=1), admission),
+    }
+
+    results: Dict[str, List[Dict[str, float]]] = {name: [] for name in setups}
+    for load in config.load_factors:
+        arrivals = poisson_arrivals(
+            config.num_tasks, rate=load * capacity, seed=config.seed
+        )
+        for name, (factory, adm) in setups.items():
+            sim_config = SimulationConfig(
+                num_workers=config.num_workers,
+                concurrency=config.concurrency,
+                stage_times=tuple(1.0 for _ in range(num_stages)),
+                latency_constraint=config.latency_constraint,
+                admission=adm,
+            )
+            episode = PoolSimulator(
+                oracles, factory(), sim_config, arrival_times=arrivals
+            ).run()
+            results[name].append(
+                {
+                    "load_factor": load,
+                    "goodput": episode.goodput,
+                    "p99_latency": episode.served_latency_percentile(99),
+                    "shed_fraction": episode.shed_fraction,
+                    "eviction_rate": episode.num_evicted / episode.num_tasks,
+                    "utility": episode.accrued_utility,
+                    "peak_queue_depth": float(episode.peak_queue_depth),
+                    "num_served": float(episode.num_served),
+                    "num_degraded": float(episode.num_degraded),
+                }
+            )
+    return results
+
+
+def format_overload(results: Dict[str, List[Dict[str, float]]]) -> str:
+    header = (
+        f"{'setup':16} {'load':>6} {'goodput':>8} {'p99':>7} {'shed':>6} "
+        f"{'evicted':>8} {'utility':>8} {'peakq':>6} {'served':>7} {'degr':>5}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, rows in results.items():
+        for r in rows:
+            p99 = r["p99_latency"]
+            lines.append(
+                f"{name:16} {r['load_factor']:>6.2f} {r['goodput']:>8.3f} "
+                f"{p99:>7.2f} {100 * r['shed_fraction']:>5.1f}% "
+                f"{100 * r['eviction_rate']:>7.1f}% {r['utility']:>8.2f} "
+                f"{r['peak_queue_depth']:>6.0f} {r['num_served']:>7.0f} "
+                f"{r['num_degraded']:>5.0f}"
+            )
+    return "\n".join(lines)
 
 
 def format_openloop(results: Dict[str, List[Dict[str, float]]]) -> str:

@@ -37,6 +37,7 @@ from contextlib import contextmanager
 from typing import Callable, Iterator, Optional
 
 from .errors import (
+    BackpressureError,
     CircuitOpenError,
     CorruptedPayload,
     InjectedFault,
@@ -196,4 +197,5 @@ __all__ = [
     "RetriesExhaustedError",
     "RequestTimeoutError",
     "CircuitOpenError",
+    "BackpressureError",
 ]

@@ -34,6 +34,29 @@ class CorruptedPayload(InjectedFault):
     """A stage result arrived mangled (NaN confidences, wrong shapes)."""
 
 
+class BackpressureError(RuntimeError):
+    """A typed admission rejection (the RPC analogue of a 429).
+
+    Raised client-side when the service answers with a
+    :class:`~repro.service.messages.RejectedResponse` — not an injected
+    fault and not a caller bug, but the service explicitly refusing work
+    under overload.  :class:`~repro.faults.resilience.RetryPolicy` treats
+    it as retryable and honours ``retry_after_s`` when backing off.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        retry_after_s: float = 0.0,
+        reason: str = "overload",
+        endpoint: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+        self.reason = reason
+        self.endpoint = endpoint
+
+
 class ResilienceError(RuntimeError):
     """Base class of errors raised when recovery budgets are exhausted."""
 

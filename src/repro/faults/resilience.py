@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, Optional, TypeVar
 
 from .errors import (
+    BackpressureError,
     CircuitOpenError,
     RequestTimeoutError,
     RetriesExhaustedError,
@@ -65,8 +66,12 @@ class RetryPolicy:
     ) -> T:
         """Run ``fn`` under this policy.
 
-        Only :class:`TransientServiceError` is retried; any other exception
-        propagates on the first occurrence.  ``on_retry(attempt, error)`` is
+        Only :class:`TransientServiceError` and :class:`BackpressureError`
+        are retried; any other exception propagates on the first
+        occurrence.  A backpressure rejection carries a retry-after hint
+        from the service's admission controller, and the backoff honours
+        it: the sleep before the next attempt is at least that hint (still
+        within the ``timeout_s`` budget).  ``on_retry(attempt, error)`` is
         invoked before each backoff sleep (telemetry hooks plug in here).
         """
         start = time.monotonic()
@@ -83,11 +88,13 @@ class RetryPolicy:
                 )
             try:
                 return fn()
-            except TransientServiceError as error:
+            except (TransientServiceError, BackpressureError) as error:
                 last_error = error
                 if attempt == self.max_attempts:
                     break
                 delay = next(delays)
+                if isinstance(error, BackpressureError):
+                    delay = max(delay, error.retry_after_s)
                 if (
                     self.timeout_s is not None
                     and time.monotonic() - start + delay > self.timeout_s

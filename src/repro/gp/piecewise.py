@@ -32,6 +32,12 @@ class PiecewiseLinear:
         y = np.asarray(self.knots_y, dtype=np.float64)
         if x.ndim != 1 or x.shape != y.shape or len(x) < 2:
             raise ValueError("need matching 1-D knot arrays with >= 2 knots")
+        # A NaN/inf knot makes np.interp return garbage silently on every
+        # later scheduler query — reject it here, at construction.
+        if not np.isfinite(x).all():
+            raise ValueError("knots_x must be finite (no NaN/inf values)")
+        if not np.isfinite(y).all():
+            raise ValueError("knots_y must be finite (no NaN/inf values)")
         if not (np.diff(x) > 0).all():
             raise ValueError("knots_x must be strictly increasing")
         object.__setattr__(self, "knots_x", x)
@@ -58,8 +64,16 @@ def approximate_gp(
     if num_points < 1:
         raise ValueError("num_points must be >= 1")
     lo, hi = domain
+    if not (np.isfinite(lo) and np.isfinite(hi)):
+        raise ValueError("domain bounds must be finite")
     if hi <= lo:
         raise ValueError("empty domain")
     xs = np.linspace(lo, hi, num_points + 1)
     ys, _ = gp.predict(xs)
+    if not np.all(np.isfinite(ys)):
+        raise ValueError(
+            "GP profiling produced non-finite values; the fitted GP is "
+            "degenerate (bad hyperparameters or non-finite training data) "
+            "and cannot be approximated"
+        )
     return PiecewiseLinear(xs, ys)

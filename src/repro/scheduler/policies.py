@@ -131,16 +131,28 @@ class RoundRobinPolicy(SchedulingPolicy):
     """
 
     name: str = field(default="RR", init=False)
-    _cursor: int = field(default=0, init=False)
+    #: task id served at the head of the previous plan; the next plan
+    #: starts with the first runnable id *after* it.  A free-running index
+    #: taken modulo the runnable count skews the rotation whenever the
+    #: runnable set shrinks between plans (completed/evicted tasks shift
+    #: every position, so the cursor lands on an arbitrary task and some
+    #: tasks get double-served while others starve).
+    _last_served: Optional[int] = field(default=None, init=False)
 
     def plan(self, tasks: Sequence[TaskView], now: float) -> List[PlanItem]:
         runnable = sorted(self._runnable(tasks), key=lambda t: t.task_id)
         if not runnable:
             return []
-        # Rotate the start point so service alternates across plans.
-        start = self._cursor % len(runnable)
-        self._cursor += 1
+        # Resume after the task served last, by id — stable under a
+        # changing runnable set, unlike a positional cursor.
+        start = 0
+        if self._last_served is not None:
+            for i, t in enumerate(runnable):
+                if t.task_id > self._last_served:
+                    start = i
+                    break
         ordered = runnable[start:] + runnable[:start]
+        self._last_served = ordered[0].task_id
         return [(t.task_id, t.stages_done) for t in ordered]
 
 

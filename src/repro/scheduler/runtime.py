@@ -65,6 +65,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import faults, telemetry
+from ..admission import AdmissionConfig, expected_utility, select_shed
 from ..nn import functional as F
 from ..nn.resnet import StagedResNet
 from .policies import SchedulingPolicy
@@ -94,6 +95,11 @@ class RuntimeConfig:
     #: releases its tasks for re-execution.  Generous by default: a healthy
     #: pool never trips it, so the disarmed behaviour is unchanged.
     item_timeout: float = 5.0
+    #: admission control / overload management (:mod:`repro.admission`):
+    #: bounds the admitted-but-unserved queue, degrading excess tasks to an
+    #: early exit and shedding past the hard bound.  ``None`` (default)
+    #: keeps the unbounded legacy behaviour — and the fast path untouched.
+    admission: Optional[AdmissionConfig] = None
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -123,6 +129,9 @@ class RuntimeTaskResult:
     elapsed: float
     #: all stages ran inside the budget (the non-degraded happy path).
     completed: bool = False
+    #: dropped by admission control before receiving any service; a shed
+    #: task has no outcomes and counts toward neither goodput nor misses.
+    shed: bool = False
 
     @property
     def prediction(self) -> Optional[int]:
@@ -140,7 +149,8 @@ class RuntimeTaskResult:
     @property
     def degraded(self) -> bool:
         """Served from an early exit because later stages never finished
-        inside the budget (fault or deadline) — a result, but a weaker one."""
+        inside the budget (fault, deadline, or a degrade-mode stage cap) —
+        a result, but a weaker one."""
         return not self.completed and bool(self.outcomes)
 
 
@@ -274,6 +284,69 @@ class StagedInferenceRuntime:
         return list(range(start, len(self._inputs)))
 
     # ------------------------------------------------------------------
+    def _apply_admission(
+        self,
+        records: Dict[int, TaskRecord],
+        admission: AdmissionConfig,
+        tel,
+    ) -> None:
+        """Overload management over the submitted batch (before serving).
+
+        Every submitted task beyond ``max_queue_depth`` is shed —
+        lowest expected utility first, scored with the scheduling policy's
+        own confidence predictor when it has one.  Survivors beyond
+        ``degrade_queue_depth`` are capped at ``degrade_stage_cap`` stages
+        (degrade-before-drop), composing with the runtime's existing
+        graceful-degradation reporting.
+        """
+        live = [r for r in records.values() if not r.done]
+        predictor = getattr(self.policy, "predictor", None)
+        depth = admission.max_queue_depth
+        if depth is not None and len(live) > depth:
+            views = {r.task_id: r.view() for r in live}
+            to_shed = select_shed(
+                list(views.values()),
+                len(live) - depth,
+                predictor=predictor,
+                now=0.0,
+                policy=admission.shed_policy,
+            )
+            for tid in to_shed:
+                record = records[tid]
+                record.shed = True
+                record.finish_time = 0.0
+                if tel is not None:
+                    tel.registry.counter("runtime.tasks_shed").inc()
+                    tel.trace.load_shed(
+                        0.0,
+                        tid,
+                        expected_utility=expected_utility(
+                            views[tid], predictor, now=0.0
+                        ),
+                    )
+            live = [r for r in live if not r.shed]
+        degrade_depth = admission.degrade_queue_depth
+        if degrade_depth is not None and len(live) > degrade_depth:
+            views = [r.view() for r in live]
+            # The same utility ranking picks which survivors to degrade:
+            # the lowest-expected-utility tasks lose the least by exiting
+            # early, so they take the stage cap.
+            to_degrade = select_shed(
+                views,
+                len(live) - degrade_depth,
+                predictor=predictor,
+                now=0.0,
+                policy=admission.shed_policy,
+            )
+            for tid in to_degrade:
+                records[tid].stage_cap = admission.degrade_stage_cap
+                if tel is not None:
+                    tel.registry.counter("runtime.tasks_degraded").inc()
+                    tel.trace.degrade_cap(
+                        0.0, tid, stage_cap=admission.degrade_stage_cap
+                    )
+
+    # ------------------------------------------------------------------
     def run_until_complete(self) -> List[RuntimeTaskResult]:
         """Serve every submitted task to completion or eviction."""
         if not self._inputs:
@@ -307,6 +380,9 @@ class StagedInferenceRuntime:
             )
             if tel is not None:
                 tel.trace.admit(0.0, tid, deadline=cfg.latency_constraint)
+
+        if cfg.admission is not None and cfg.admission.bounded:
+            self._apply_admission(records, cfg.admission, tel)
 
         def worker_loop() -> None:
             while not stop.is_set():
@@ -680,7 +756,8 @@ class StagedInferenceRuntime:
                     outcomes=list(record.outcomes),
                     evicted=record.evicted,
                     elapsed=float(elapsed),
-                    completed=record.complete,
+                    completed=record.fully_complete,
+                    shed=record.shed,
                 )
             )
         self._inputs = []

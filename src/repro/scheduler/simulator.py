@@ -27,8 +27,9 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import telemetry
+from ..admission import AdmissionConfig, TokenBucket, expected_utility, select_shed
 from .policies import PlanItem, SchedulingPolicy
-from .task import StageOutcome, TaskRecord
+from .task import StageOutcome, TaskRecord, TaskView
 
 
 @dataclass(frozen=True)
@@ -91,6 +92,11 @@ class SimulationConfig:
     #: scheduler must absorb the retry.
     stage_failure_prob: float = 0.0
     failure_seed: int = 0
+    #: admission control / overload management (:mod:`repro.admission`):
+    #: bounds the arrived-but-unadmitted waiting queue, rate-limits ingress,
+    #: and sheds/degrades excess work.  ``None`` (default) keeps the
+    #: unbounded legacy behaviour bit-for-bit.
+    admission: Optional[AdmissionConfig] = None
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -113,6 +119,10 @@ class EpisodeResult:
     makespan: float
     busy_time: float
     num_workers: int
+    #: deepest the arrived-but-unadmitted waiting queue ever got, sampled
+    #: at admission points (admission control bounds this; without it the
+    #: queue grows with offered load).
+    peak_queue_depth: int = 0
 
     @property
     def num_tasks(self) -> int:
@@ -170,6 +180,61 @@ class EpisodeResult:
                 if r.finish_time is not None
             ]
         )
+
+    # -- overload-management metrics (the `repro overload` experiment) -----
+    @property
+    def num_shed(self) -> int:
+        """Tasks dropped by admission control before any service."""
+        return sum(1 for r in self.records if r.shed)
+
+    @property
+    def num_degraded(self) -> int:
+        """Tasks served under a degrade-mode stage cap."""
+        return sum(1 for r in self.records if r.stage_cap is not None and not r.shed)
+
+    @property
+    def num_served(self) -> int:
+        """Tasks that delivered an answer inside their deadline."""
+        return sum(
+            1 for r in self.records if r.outcomes and not r.evicted and not r.shed
+        )
+
+    @property
+    def goodput(self) -> float:
+        """Answers delivered inside their deadline, per unit time."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.num_served / self.makespan
+
+    @property
+    def shed_fraction(self) -> float:
+        if not self.records:
+            return 0.0
+        return self.num_shed / len(self.records)
+
+    @property
+    def accrued_utility(self) -> float:
+        """Total utility = summed confidence of answers delivered in time
+        (the paper's objective; shed and evicted tasks accrue nothing)."""
+        return float(
+            sum(
+                r.latest_confidence or 0.0
+                for r in self.records
+                if r.outcomes and not r.evicted and not r.shed
+            )
+        )
+
+    def served_latency_percentile(self, q: float) -> float:
+        """Latency percentile over *served* tasks only (p99 of admitted work
+        is what admission control promises to bound)."""
+        lat = [
+            r.finish_time - r.arrival_time
+            for r in self.records
+            if r.finish_time is not None and r.outcomes and not r.evicted and not r.shed
+        ]
+        if not lat:
+            return float("nan")
+        return float(np.percentile(lat, q))
 
 
 # Event kinds, ordered so simultaneous events resolve deterministically:
@@ -253,6 +318,106 @@ class PoolSimulator:
             order.sort(key=lambda tid: (arrival_of(tid), tid))
         backlog: Deque[int] = deque(order)
 
+        # ---- admission control (disabled unless the config bounds it) ----
+        adm = (
+            cfg.admission
+            if cfg.admission is not None and cfg.admission.bounded
+            else None
+        )
+        bucket = (
+            TokenBucket(adm.rate_limit_per_s, adm.burst, clock=lambda: 0.0)
+            if adm is not None and adm.rate_limit_per_s is not None
+            else None
+        )
+        rate_checked: set = set()
+        peak_queue_depth = 0
+        predictor = getattr(self.policy, "predictor", None)
+        mean_stage_time = float(np.mean(cfg.stage_times))
+
+        def constraint_of(tid: int) -> float:
+            return (
+                self.task_latency_constraints[tid]
+                if self.task_latency_constraints is not None
+                else cfg.latency_constraint
+            )
+
+        def waiting_ids(now: float) -> List[int]:
+            """Arrived-but-unadmitted task ids (the ingress queue)."""
+            out: List[int] = []
+            for tid in backlog:  # sorted by arrival, so stop at the future
+                if arrival_of(tid) > now + 1e-12:
+                    break
+                out.append(tid)
+            return out
+
+        def waiting_view(tid: int, now: float) -> TaskView:
+            arrived = arrival_of(tid) if self.arrival_times is not None else now
+            return TaskView(
+                task_id=tid,
+                arrival_time=arrived,
+                deadline=arrived + constraint_of(tid),
+                num_stages=self.num_stages,
+                stages_done=0,
+                confidences=(),
+            )
+
+        def shed_task(
+            tid: int, now: float, reason: str, view: Optional[TaskView] = None
+        ) -> None:
+            """Drop a waiting task before it receives any service."""
+            backlog.remove(tid)
+            arrived = arrival_of(tid) if self.arrival_times is not None else now
+            record = TaskRecord(
+                task_id=tid,
+                arrival_time=arrived,
+                deadline=arrived + constraint_of(tid),
+                num_stages=self.num_stages,
+            )
+            record.shed = True
+            records[tid] = record
+            if tel is not None:
+                tel.registry.counter("simulator.tasks_shed").inc()
+                if reason == "rate-limit" and bucket is not None:
+                    tel.trace.admission_reject(
+                        now, "simulator", reason, bucket.retry_after(now=now)
+                    )
+                else:
+                    eu = (
+                        expected_utility(view, predictor, now, mean_stage_time)
+                        if view is not None
+                        else 0.0
+                    )
+                    tel.trace.load_shed(now, tid, expected_utility=eu)
+
+        def manage_overload(now: float) -> None:
+            """Rate-limit and queue-bound the ingress before admitting."""
+            waiting = waiting_ids(now)
+            if bucket is not None:
+                for tid in list(waiting):
+                    if tid in rate_checked:
+                        continue
+                    rate_checked.add(tid)
+                    if not bucket.try_acquire(now=now):
+                        shed_task(tid, now, reason="rate-limit")
+                        waiting.remove(tid)
+            depth = adm.max_queue_depth
+            # Tasks about to be admitted into free concurrency slots don't
+            # occupy the waiting queue — only the remainder is bounded.
+            slots = max(0, cfg.concurrency - len(active))
+            excess = len(waiting) - slots - (depth if depth is not None else len(waiting))
+            if depth is not None and excess > 0:
+                views = {tid: waiting_view(tid, now) for tid in waiting}
+                to_shed = select_shed(
+                    list(views.values()),
+                    excess,
+                    predictor=predictor,
+                    now=now,
+                    stage_time_s=mean_stage_time,
+                    policy=adm.shed_policy,
+                )
+                for tid in to_shed:
+                    shed_task(tid, now, reason="queue-full", view=views[tid])
+
         if tel is not None:
             tel.registry.counter("simulator.tasks_submitted").inc(len(self.oracles))
             tel.registry.counter("simulator.tasks_completed")
@@ -260,17 +425,16 @@ class PoolSimulator:
             tel.registry.counter("simulator.utility_accrued")
 
         def admit(now: float) -> None:
+            nonlocal peak_queue_depth
+            if adm is not None:
+                manage_overload(now)
             while (
                 backlog
                 and len(active) < cfg.concurrency
                 and arrival_of(backlog[0]) <= now + 1e-12
             ):
                 tid = backlog.popleft()
-                constraint = (
-                    self.task_latency_constraints[tid]
-                    if self.task_latency_constraints is not None
-                    else cfg.latency_constraint
-                )
+                constraint = constraint_of(tid)
                 # Closed-loop (no arrival times): a task "arrives" when
                 # admitted, matching the paper's constant-concurrency test.
                 # Open-loop: the clock starts at the true arrival instant,
@@ -282,6 +446,18 @@ class PoolSimulator:
                     deadline=arrived + constraint,
                     num_stages=self.num_stages,
                 )
+                if (
+                    adm is not None
+                    and adm.degrade_queue_depth is not None
+                    and len(waiting_ids(now)) > adm.degrade_queue_depth
+                ):
+                    # Degrade-before-drop: admitted into a congested system,
+                    # so cap the task at an early exit to turn capacity over
+                    # faster.
+                    record.stage_cap = adm.degrade_stage_cap
+                    if tel is not None:
+                        tel.registry.counter("simulator.tasks_degraded").inc()
+                        tel.trace.degrade_cap(now, tid, stage_cap=record.stage_cap)
                 records[tid] = record
                 if record.deadline <= now:
                     # The latency constraint expired while the task queued.
@@ -297,6 +473,11 @@ class PoolSimulator:
                 heapq.heappush(
                     events, (record.deadline, _DEADLINE, next(counter), (tid,))
                 )
+            depth_now = len(waiting_ids(now))
+            if depth_now > peak_queue_depth:
+                peak_queue_depth = depth_now
+            if tel is not None and adm is not None:
+                tel.registry.gauge("simulator.queue_depth").set(depth_now)
 
         def retire(tid: int, now: float, evicted: bool) -> None:
             record = active.pop(tid, None)
@@ -454,6 +635,7 @@ class PoolSimulator:
             makespan=makespan,
             busy_time=busy_time,
             num_workers=cfg.num_workers,
+            peak_queue_depth=peak_queue_depth,
         )
 
 

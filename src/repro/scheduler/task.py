@@ -37,12 +37,27 @@ class TaskRecord:
     outcomes: List[StageOutcome] = field(default_factory=list)
     evicted: bool = False
     finish_time: Optional[float] = None
+    #: dropped by admission control before receiving any service (overload
+    #: shedding) — distinct from ``evicted``, which is a deadline miss.
+    shed: bool = False
+    #: degrade-before-drop: the task will be served only up to this stage
+    #: (exclusive upper bound on stage count); ``None`` = full service.
+    stage_cap: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.deadline <= self.arrival_time:
             raise ValueError("deadline must be after arrival")
         if self.num_stages < 1:
             raise ValueError("a task needs at least one stage")
+        if self.stage_cap is not None and self.stage_cap < 1:
+            raise ValueError("stage_cap must be >= 1 when given")
+
+    @property
+    def effective_stages(self) -> int:
+        """Stages this task will actually be served (cap-aware)."""
+        if self.stage_cap is None:
+            return self.num_stages
+        return min(self.num_stages, self.stage_cap)
 
     @property
     def stages_done(self) -> int:
@@ -50,18 +65,24 @@ class TaskRecord:
 
     @property
     def next_stage(self) -> Optional[int]:
-        if self.stages_done >= self.num_stages:
+        if self.stages_done >= self.effective_stages:
             return None
         return self.stages_done
 
     @property
     def complete(self) -> bool:
+        """All stages the task is *entitled to* ran (cap-aware)."""
+        return self.stages_done >= self.effective_stages
+
+    @property
+    def fully_complete(self) -> bool:
+        """Every stage of the full model ran — the non-degraded outcome."""
         return self.stages_done >= self.num_stages
 
     @property
     def done(self) -> bool:
-        """No more work will happen (all stages ran, or deadline eviction)."""
-        return self.complete or self.evicted
+        """No more work will happen (all stages ran, eviction, or shed)."""
+        return self.complete or self.evicted or self.shed
 
     @property
     def latest_confidence(self) -> Optional[float]:
@@ -84,11 +105,13 @@ class TaskRecord:
         return bool(self.outcomes[-1].correct)
 
     def view(self) -> "TaskView":
+        # Policies see the cap-aware stage count, so a degraded task is
+        # never planned past its early exit.
         return TaskView(
             task_id=self.task_id,
             arrival_time=self.arrival_time,
             deadline=self.deadline,
-            num_stages=self.num_stages,
+            num_stages=self.effective_stages,
             stages_done=self.stages_done,
             confidences=tuple(o.confidence for o in self.outcomes),
         )

@@ -21,6 +21,8 @@ from .messages import (
     ClassifyResponse,
     DeepSenseTrainRequest,
     DeepSenseTrainResponse,
+    DeleteRequest,
+    DeleteResponse,
     EstimateRequest,
     EstimateResponse,
     EstimatorTrainRequest,
@@ -33,6 +35,7 @@ from .messages import (
     ProfileResponse,
     ReduceRequest,
     ReduceResponse,
+    RejectedResponse,
     TrainRequest,
     TrainResponse,
 )
@@ -65,6 +68,9 @@ __all__ = [
     "CalibrateResponse",
     "InferRequest",
     "InferResponse",
+    "DeleteRequest",
+    "DeleteResponse",
+    "RejectedResponse",
     "EstimatorTrainRequest",
     "EstimatorTrainResponse",
     "EstimateRequest",

@@ -20,7 +20,15 @@ import numpy as np
 
 from .. import faults, telemetry
 from ..compression.cache import DeviceProfile, FrequencyTracker, ReducedClassModel
-from ..faults import CLOSED, OPEN, CircuitBreaker, ResilienceError, RetryPolicy
+from ..faults import (
+    CLOSED,
+    OPEN,
+    BackpressureError,
+    CircuitBreaker,
+    ResilienceError,
+    RetriesExhaustedError,
+    RetryPolicy,
+)
 from .messages import (
     CalibrateRequest,
     CalibrateResponse,
@@ -28,6 +36,8 @@ from .messages import (
     ClassifyResponse,
     DeepSenseTrainRequest,
     DeepSenseTrainResponse,
+    DeleteRequest,
+    DeleteResponse,
     EstimateRequest,
     EstimateResponse,
     EstimatorTrainRequest,
@@ -40,6 +50,7 @@ from .messages import (
     ProfileResponse,
     ReduceRequest,
     ReduceResponse,
+    RejectedResponse,
     TrainRequest,
     TrainResponse,
 )
@@ -58,9 +69,11 @@ class EugeneClient:
        :class:`~repro.faults.CircuitOpenError` without touching the
        service until the cooldown elapses;
     2. the :class:`RetryPolicy` — only
-       :class:`~repro.faults.TransientServiceError` is retried, with
-       bounded exponential backoff and an optional per-request
-       ``timeout_s`` budget;
+       :class:`~repro.faults.TransientServiceError` and
+       :class:`~repro.faults.BackpressureError` (a typed admission
+       rejection, whose retry-after hint floors the backoff sleep) are
+       retried, with bounded exponential backoff and an optional
+       per-request ``timeout_s`` budget;
     3. the ``client.<endpoint>`` fault-injection site — the "network
        leg", consulted once per *attempt* so a transient injected error
        can clear on retry.
@@ -97,7 +110,21 @@ class EugeneClient:
 
         def attempt() -> T:
             faults.perform(faults.inject(f"client.{endpoint}"))
-            return fn()
+            result = fn()
+            if isinstance(result, RejectedResponse):
+                # Typed backpressure from the service's admission layer:
+                # surface it as an exception so the retry policy can back
+                # off by at least the service's retry-after hint.
+                tel = telemetry.active()
+                if tel is not None:
+                    tel.registry.counter(f"client.rejected.{endpoint}").inc()
+                raise BackpressureError(
+                    result.message or f"{endpoint!r} rejected: {result.reason}",
+                    retry_after_s=result.retry_after_s,
+                    reason=result.reason,
+                    endpoint=endpoint,
+                )
+            return result
 
         def on_retry(attempt_no: int, _error: Exception) -> None:
             tel = telemetry.active()
@@ -107,7 +134,7 @@ class EugeneClient:
 
         try:
             result = self.retry_policy.call(attempt, on_retry=on_retry)
-        except ResilienceError:
+        except ResilienceError as error:
             # Only exhausted retries / blown budgets count against the
             # breaker — a ValueError from request validation is the
             # caller's bug, not the endpoint's health.
@@ -116,6 +143,13 @@ class EugeneClient:
             if tel is not None and breaker.state == OPEN:
                 tel.registry.counter(f"client.breaker_open.{endpoint}").inc()
                 tel.trace.breaker_open(0.0, endpoint)
+            if isinstance(error, RetriesExhaustedError) and isinstance(
+                error.last_error, BackpressureError
+            ):
+                # Every attempt ended in an admission rejection: surface
+                # the typed backpressure (with its retry-after hint) so
+                # callers can shed or reschedule, not just "retries failed".
+                raise error.last_error from error
             raise
         breaker.record_success()
         if state_before != CLOSED:
@@ -155,6 +189,10 @@ class EugeneClient:
     def profile(self, model_id: str, **kwargs) -> ProfileResponse:
         request = ProfileRequest(model_id=model_id, **kwargs)
         return self._call("profile", lambda: self.service.profile(request))
+
+    def delete(self, model_id: str, cascade: bool = False) -> DeleteResponse:
+        request = DeleteRequest(model_id=model_id, cascade=cascade)
+        return self._call("delete", lambda: self.service.delete(request))
 
     def calibrate(
         self, model_id: str, inputs: np.ndarray, labels: np.ndarray, **kwargs

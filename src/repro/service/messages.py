@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..admission import REJECT_REASONS, AdmissionConfig
 from ..nn.deepsense import DeepSenseConfig
 from ..nn.resnet import StagedResNetConfig
 
@@ -164,6 +165,55 @@ class CalibrateResponse:
 
 
 @dataclass
+class RejectedResponse:
+    """Typed backpressure: the service refused the request under overload.
+
+    The admission layer's contract (docs/OVERLOAD.md): a rejected caller
+    always learns *which* limit fired (``reason``) and *when* retrying can
+    succeed (``retry_after_s``) — the dataclass analogue of an HTTP 429
+    with a ``Retry-After`` header.  Endpoints return this instead of their
+    normal response type; :class:`~repro.service.client.EugeneClient`
+    converts it into a :class:`~repro.faults.BackpressureError` so retry
+    policies can honour the hint.
+    """
+
+    endpoint: str
+    reason: str
+    retry_after_s: float = 0.0
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.reason not in REJECT_REASONS:
+            raise ValueError(
+                f"unknown rejection reason {self.reason!r}; "
+                f"use one of {REJECT_REASONS}"
+            )
+        if self.retry_after_s < 0:
+            raise ValueError("retry_after_s must be non-negative")
+
+
+@dataclass
+class DeleteRequest:
+    """Remove a registered model (and optionally its reduced children)."""
+
+    model_id: str
+    #: also delete reduced models derived from this one.  Without cascade,
+    #: deleting a parent that still has children is refused — a child's
+    #: ``parent_id`` must never dangle.
+    cascade: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.model_id:
+            raise ValueError("model_id must not be empty")
+
+
+@dataclass
+class DeleteResponse:
+    #: every model id removed, the requested one first (cascade order).
+    deleted: Tuple[str, ...]
+
+
+@dataclass
 class InferRequest:
     """Run-time inference with a latency constraint, scheduled by RTDeepIoT."""
 
@@ -177,6 +227,10 @@ class InferRequest:
     max_batch: int = 1
     #: seconds an undersized batch may wait for more same-stage work.
     drain_window_s: float = 0.0
+    #: per-request overload management (:mod:`repro.admission`): bounds the
+    #: in-runtime queue, shedding or degrading the lowest-expected-utility
+    #: tasks of this batch.  ``None`` (default) = serve everything.
+    admission: Optional[AdmissionConfig] = None
 
     def __post_init__(self) -> None:
         if self.latency_constraint_s <= 0:
@@ -216,6 +270,9 @@ class InferResponse:
     #: per task: which stage the served result came from (``None`` when the
     #: task produced no result at all before expiring).
     served_stage: List[Optional[int]] = field(default_factory=list)
+    #: per task: dropped by admission control before any service (overload
+    #: shedding) — shed tasks have no prediction and are never ``evicted``.
+    shed: List[bool] = field(default_factory=list)
 
 
 @dataclass

@@ -73,7 +73,31 @@ class ModelRegistry:
     def list_models(self) -> List[ModelEntry]:
         return list(self._entries.values())
 
-    def delete(self, model_id: str) -> None:
+    def children(self, model_id: str) -> List[ModelEntry]:
+        """Reduced models registered with ``model_id`` as their parent."""
+        return [e for e in self._entries.values() if e.parent_id == model_id]
+
+    def delete(self, model_id: str, cascade: bool = False) -> List[str]:
+        """Remove a model; returns every id removed (requested one first).
+
+        A parent whose reduced children are still registered is protected:
+        deleting it would leave the children's ``parent_id`` dangling, so
+        the call is refused unless ``cascade=True``, which removes the
+        whole subtree (children before grandchildren never happens — the
+        reduce endpoint only derives from full models — but the walk is
+        recursive anyway so deeper derivation chains stay safe).
+        """
         if model_id not in self._entries:
             raise KeyError(f"unknown model id {model_id!r}")
+        children = self.children(model_id)
+        if children and not cascade:
+            ids = ", ".join(sorted(c.model_id for c in children))
+            raise ValueError(
+                f"model {model_id!r} still has reduced children ({ids}); "
+                "delete them first or pass cascade=True"
+            )
+        deleted = [model_id]
+        for child in children:
+            deleted.extend(self.delete(child.model_id, cascade=True))
         del self._entries[model_id]
+        return deleted

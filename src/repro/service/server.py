@@ -2,13 +2,15 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import functools
+from typing import Callable, Dict, Optional, TypeVar
 
 import numpy as np
 
 from scipy.stats import norm
 
 from .. import faults, telemetry
+from ..admission import AdmissionController
 from ..calibration.entropy_reg import EntropyCalibrator
 from ..calibration.rdeepsense import fit_gaussian_regressor, interval_coverage
 from ..compression.pruning import shrink_staged_resnet
@@ -36,6 +38,8 @@ from .messages import (
     ClassifyResponse,
     DeepSenseTrainRequest,
     DeepSenseTrainResponse,
+    DeleteRequest,
+    DeleteResponse,
     EstimateRequest,
     EstimateResponse,
     EstimatorTrainRequest,
@@ -48,10 +52,53 @@ from .messages import (
     ProfileResponse,
     ReduceRequest,
     ReduceResponse,
+    RejectedResponse,
     TrainRequest,
     TrainResponse,
 )
 from .model_registry import ModelRegistry
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def _admission_gate(endpoint: str) -> Callable[[_F], _F]:
+    """Per-endpoint admission check, applied *outermost* on the endpoint.
+
+    With no controller installed (the default) the gate is one attribute
+    read and a ``None`` check — the same disabled-cost contract as
+    :mod:`repro.telemetry` and :mod:`repro.faults`.  With a controller, a
+    rejected call short-circuits into a typed :class:`RejectedResponse`
+    before any endpoint work (or fault/telemetry accounting) happens, and
+    an admitted call releases its concurrency slot on every exit path.
+    """
+
+    def decorate(fn: _F) -> _F:
+        @functools.wraps(fn)
+        def wrapper(self, request, *args, **kwargs):
+            controller = self.admission
+            if controller is None:
+                return fn(self, request, *args, **kwargs)
+            model_id = getattr(request, "model_id", None)
+            decision = controller.admit(endpoint, model_id=model_id)
+            if not decision.admitted:
+                return RejectedResponse(
+                    endpoint=endpoint,
+                    reason=decision.reason,
+                    retry_after_s=decision.retry_after_s,
+                    message=(
+                        f"{endpoint!r} rejected ({decision.reason} on "
+                        f"{decision.key!r}); retry after "
+                        f"{decision.retry_after_s:.3g}s"
+                    ),
+                )
+            try:
+                return fn(self, request, *args, **kwargs)
+            finally:
+                controller.release(endpoint, model_id=model_id)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
 
 
 def _serving_metrics(**extra: object) -> Optional[Dict[str, object]]:
@@ -95,14 +142,19 @@ class EugeneService:
         self,
         device: Optional[MobileDeviceCostModel] = None,
         seed: int = 0,
+        admission: Optional[AdmissionController] = None,
     ) -> None:
         self.registry = ModelRegistry()
         self.device = device or MobileDeviceCostModel()
         self.seed = seed
+        #: admission control / overload management; ``None`` (default)
+        #: admits everything at zero cost.  See :mod:`repro.admission`.
+        self.admission = admission
 
     # ------------------------------------------------------------------
     # Training (Sec. II-A)
     # ------------------------------------------------------------------
+    @_admission_gate("train")
     @telemetry.timed("train")
     @faults.endpoint("service.train")
     def train(self, request: TrainRequest) -> TrainResponse:
@@ -140,6 +192,7 @@ class EugeneService:
             stage_accuracies=tuple(float(a) for a in accuracies),
         )
 
+    @_admission_gate("train_deepsense")
     @telemetry.timed("train_deepsense")
     @faults.endpoint("service.train_deepsense")
     def train_deepsense(self, request: DeepSenseTrainRequest) -> DeepSenseTrainResponse:
@@ -175,6 +228,7 @@ class EugeneService:
             steps=request.steps,
         )
 
+    @_admission_gate("classify")
     @telemetry.timed("classify")
     @faults.endpoint("service.classify")
     def classify(self, request: ClassifyRequest) -> ClassifyResponse:
@@ -210,6 +264,7 @@ class EugeneService:
     # ------------------------------------------------------------------
     # Labeling (Sec. II-A)
     # ------------------------------------------------------------------
+    @_admission_gate("label")
     @telemetry.timed("label")
     @faults.endpoint("service.label")
     def label(self, request: LabelRequest) -> LabelResponse:
@@ -234,6 +289,7 @@ class EugeneService:
     # ------------------------------------------------------------------
     # Model reduction (Sec. II-B)
     # ------------------------------------------------------------------
+    @_admission_gate("reduce")
     @telemetry.timed("reduce")
     @faults.endpoint("service.reduce")
     def reduce(self, request: ReduceRequest) -> ReduceResponse:
@@ -270,8 +326,25 @@ class EugeneService:
         )
 
     # ------------------------------------------------------------------
+    # Model management
+    # ------------------------------------------------------------------
+    @_admission_gate("delete")
+    @telemetry.timed("delete")
+    @faults.endpoint("service.delete")
+    def delete(self, request: DeleteRequest) -> DeleteResponse:
+        """Remove a registered model (and, with cascade, its reductions).
+
+        Deleting a parent that still has reduced children is refused
+        unless ``cascade`` is set — a cached reduced model must never be
+        left pointing at a vanished parent.
+        """
+        deleted = self.registry.delete(request.model_id, cascade=request.cascade)
+        return DeleteResponse(deleted=tuple(deleted))
+
+    # ------------------------------------------------------------------
     # Profiling (Sec. II-C)
     # ------------------------------------------------------------------
+    @_admission_gate("profile")
     @telemetry.timed("profile")
     @faults.endpoint("service.profile")
     def profile(self, request: ProfileRequest) -> ProfileResponse:
@@ -286,6 +359,7 @@ class EugeneService:
     # ------------------------------------------------------------------
     # Result-quality calibration (Sec. II-D / III-A)
     # ------------------------------------------------------------------
+    @_admission_gate("calibrate")
     @telemetry.timed("calibrate")
     @faults.endpoint("service.calibrate")
     def calibrate(self, request: CalibrateRequest) -> CalibrateResponse:
@@ -309,6 +383,7 @@ class EugeneService:
     # ------------------------------------------------------------------
     # Estimation service (Sec. II: the continuous-output task family)
     # ------------------------------------------------------------------
+    @_admission_gate("train_estimator")
     @telemetry.timed("train_estimator")
     @faults.endpoint("service.train_estimator")
     def train_estimator(self, request: EstimatorTrainRequest) -> EstimatorTrainResponse:
@@ -330,6 +405,7 @@ class EugeneService:
             coverage_90=interval_coverage(mean, std, y, 0.9),
         )
 
+    @_admission_gate("estimate")
     @telemetry.timed("estimate")
     @faults.endpoint("service.estimate")
     def estimate(self, request: EstimateRequest) -> EstimateResponse:
@@ -354,6 +430,7 @@ class EugeneService:
     # ------------------------------------------------------------------
     # Run-time inference (Sec. II-E / III)
     # ------------------------------------------------------------------
+    @_admission_gate("infer")
     @telemetry.timed("infer")
     @faults.endpoint("service.infer")
     def infer(self, request: InferRequest) -> InferResponse:
@@ -375,6 +452,7 @@ class EugeneService:
                 # tasks, so lost-item detection need not wait longer than
                 # the constraint — this bounds quiesce time under faults.
                 item_timeout=min(5.0, request.latency_constraint_s),
+                admission=request.admission,
             ),
         )
         runtime.submit(request.inputs)
@@ -397,8 +475,10 @@ class EugeneService:
             metrics=_serving_metrics(
                 num_tasks=len(results),
                 num_evicted=sum(1 for r in results if r.evicted),
+                num_shed=sum(1 for r in results if r.shed),
                 batch_sizes=[len(tids) for _, tids in runtime.batch_log],
             ),
             degraded=[r.degraded for r in results],
             served_stage=[r.served_stage for r in results],
+            shed=[r.shed for r in results],
         )

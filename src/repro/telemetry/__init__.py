@@ -40,17 +40,20 @@ from typing import Callable, Iterator, Optional
 from .export import render_text, to_dict, to_json
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .trace import (
+    ADMISSION_REJECT,
     ADMIT,
     BATCH_FORM,
     BREAKER_CLOSE,
     BREAKER_OPEN,
     COMPLETE,
     DEADLINE_MISS,
+    DEGRADE_CAP,
     DEGRADED,
     EVENT_KINDS,
     EVICT,
     FAULT_INJECT,
     ITEM_RETRY,
+    LOAD_SHED,
     RETRY,
     STAGE_DISPATCH,
     TraceEvent,
@@ -165,6 +168,9 @@ __all__ = [
     "DEGRADED",
     "BREAKER_OPEN",
     "BREAKER_CLOSE",
+    "ADMISSION_REJECT",
+    "LOAD_SHED",
+    "DEGRADE_CAP",
     "enable",
     "disable",
     "active",

@@ -34,6 +34,11 @@ RETRY = "retry"
 DEGRADED = "degraded"
 BREAKER_OPEN = "breaker-open"
 BREAKER_CLOSE = "breaker-close"
+#: Admission-control and overload-management transitions (see
+#: :mod:`repro.admission`).
+ADMISSION_REJECT = "admission-reject"
+LOAD_SHED = "load-shed"
+DEGRADE_CAP = "degrade-cap"
 
 EVENT_KINDS = frozenset(
     {
@@ -50,6 +55,9 @@ EVENT_KINDS = frozenset(
         DEGRADED,
         BREAKER_OPEN,
         BREAKER_CLOSE,
+        ADMISSION_REJECT,
+        LOAD_SHED,
+        DEGRADE_CAP,
     }
 )
 
@@ -192,6 +200,29 @@ class TraceLog:
 
     def breaker_close(self, t: float, endpoint: str) -> TraceEvent:
         return self.record(BREAKER_CLOSE, t, label=endpoint)
+
+    # -- admission-control / overload transitions -----------------------
+    def admission_reject(
+        self, t: float, key: str, reason: str, retry_after_s: float
+    ) -> TraceEvent:
+        """Admission refused a request at ``key`` (endpoint or model:id)."""
+        return self.record(
+            ADMISSION_REJECT, t, label=f"{key}:{reason}",
+            detail={"retry_after_s": float(retry_after_s)},
+        )
+
+    def load_shed(self, t: float, task_id: int, expected_utility: float) -> TraceEvent:
+        """An admitted task was dropped under overload (lowest utility first)."""
+        return self.record(
+            LOAD_SHED, t, task_id=task_id,
+            detail={"expected_utility": float(expected_utility)},
+        )
+
+    def degrade_cap(self, t: float, task_id: int, stage_cap: int) -> TraceEvent:
+        """A task was capped at an earlier exit stage instead of being shed."""
+        return self.record(
+            DEGRADE_CAP, t, task_id=task_id, detail={"stage_cap": float(stage_cap)}
+        )
 
     # -- read side -----------------------------------------------------
     def events(self, kind: Optional[str] = None) -> List[TraceEvent]:

@@ -1,0 +1,47 @@
+"""Validation tests for the shared queue-level admission config."""
+
+import pytest
+
+from repro.admission import TAIL, AdmissionConfig
+
+
+class TestAdmissionConfig:
+    def test_default_is_unbounded(self):
+        assert not AdmissionConfig().bounded
+
+    def test_any_knob_makes_it_bounded(self):
+        assert AdmissionConfig(max_queue_depth=4).bounded
+        assert AdmissionConfig(degrade_queue_depth=2).bounded
+        assert AdmissionConfig(rate_limit_per_s=10.0).bounded
+
+    def test_degrade_depth_must_not_exceed_hard_depth(self):
+        AdmissionConfig(max_queue_depth=4, degrade_queue_depth=4)  # equal ok
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_queue_depth=4, degrade_queue_depth=5)
+
+    def test_negative_depths_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_queue_depth=-1)
+        with pytest.raises(ValueError):
+            AdmissionConfig(degrade_queue_depth=-1)
+
+    def test_stage_cap_must_allow_one_stage(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(degrade_stage_cap=0)
+
+    def test_shed_policy_is_validated(self):
+        AdmissionConfig(shed_policy=TAIL)
+        with pytest.raises(ValueError):
+            AdmissionConfig(shed_policy="random")
+
+    def test_rate_and_burst_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(rate_limit_per_s=0.0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(burst=4)  # burst requires a rate
+        with pytest.raises(ValueError):
+            AdmissionConfig(rate_limit_per_s=1.0, burst=0.5)
+
+    def test_retry_after_must_be_nonnegative(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(retry_after_s=-0.1)

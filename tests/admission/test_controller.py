@@ -1,0 +1,132 @@
+"""Unit tests for the per-endpoint/per-model admission controller."""
+
+import pytest
+
+from repro import telemetry
+from repro.admission import (
+    CONCURRENCY,
+    RATE_LIMIT,
+    AdmissionController,
+    EndpointLimits,
+)
+
+
+class TestEndpointLimits:
+    def test_unlimited_when_nothing_set(self):
+        assert EndpointLimits().unlimited
+
+    def test_burst_requires_rate(self):
+        with pytest.raises(ValueError):
+            EndpointLimits(burst=4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EndpointLimits(rate_per_s=0.0)
+        with pytest.raises(ValueError):
+            EndpointLimits(rate_per_s=1.0, burst=0.2)
+        with pytest.raises(ValueError):
+            EndpointLimits(max_concurrent=0)
+
+
+class TestAdmissionController:
+    def test_no_limits_admits_everything(self):
+        controller = AdmissionController()
+        for _ in range(100):
+            assert controller.admit("infer").admitted
+
+    def test_concurrency_limit_and_release(self):
+        controller = AdmissionController(
+            per_endpoint={"infer": EndpointLimits(max_concurrent=2)}
+        )
+        assert controller.admit("infer").admitted
+        assert controller.admit("infer").admitted
+        rejected = controller.admit("infer")
+        assert not rejected.admitted
+        assert rejected.reason == CONCURRENCY
+        assert rejected.retry_after_s > 0  # floor applies
+        assert controller.in_flight("infer") == 2
+        controller.release("infer")
+        assert controller.admit("infer").admitted
+
+    def test_rate_limit_carries_retry_after(self):
+        controller = AdmissionController(
+            per_endpoint={"infer": EndpointLimits(rate_per_s=0.5, burst=1)}
+        )
+        assert controller.admit("infer").admitted
+        rejected = controller.admit("infer")
+        assert not rejected.admitted
+        assert rejected.reason == RATE_LIMIT
+        # Empty bucket at 0.5/s: the next token is ~2 s away.
+        assert rejected.retry_after_s == pytest.approx(2.0, rel=0.1)
+
+    def test_default_applies_to_unlisted_endpoints(self):
+        controller = AdmissionController(default=EndpointLimits(max_concurrent=1))
+        assert controller.admit("train").admitted
+        assert not controller.admit("train").admitted
+        # Each endpoint gets its own limiter instance built from the default.
+        assert controller.admit("classify").admitted
+        controller.release("train")
+        assert controller.admit("train").admitted
+
+    def test_per_endpoint_overrides_default(self):
+        controller = AdmissionController(
+            default=EndpointLimits(max_concurrent=1),
+            per_endpoint={"infer": EndpointLimits()},  # explicitly unlimited
+        )
+        for _ in range(5):
+            assert controller.admit("infer").admitted
+
+    def test_model_scope_composes_with_endpoint_scope(self):
+        controller = AdmissionController(
+            per_endpoint={"infer": EndpointLimits(max_concurrent=4)},
+            per_model={"m1": EndpointLimits(max_concurrent=1)},
+        )
+        assert controller.admit("infer", model_id="m1").admitted
+        rejected = controller.admit("infer", model_id="m1")
+        assert not rejected.admitted
+        assert rejected.key == "model:m1"
+        # Other models only contend on the endpoint limit.
+        assert controller.admit("infer", model_id="m2").admitted
+
+    def test_model_rejection_rolls_back_endpoint_slot(self):
+        controller = AdmissionController(
+            per_endpoint={"infer": EndpointLimits(max_concurrent=1)},
+            per_model={"m1": EndpointLimits(max_concurrent=1)},
+        )
+        assert controller.admit("infer", model_id="m1").admitted
+        controller.release("infer", model_id="m1")
+        assert controller.in_flight("infer") == 0
+        assert controller.admit("infer", model_id="m1").admitted
+        # m1 is saturated; the endpoint slot the check took must be returned.
+        assert not controller.admit("infer", model_id="m1").admitted
+        assert controller.in_flight("infer") == 1
+
+    def test_release_is_exactly_paired(self):
+        controller = AdmissionController(
+            per_endpoint={"infer": EndpointLimits(max_concurrent=1)}
+        )
+        assert controller.admit("infer").admitted
+        controller.release("infer")
+        with pytest.raises(RuntimeError):
+            controller.release("infer")
+
+    def test_rejections_are_counted_when_telemetry_enabled(self):
+        controller = AdmissionController(
+            per_endpoint={"infer": EndpointLimits(max_concurrent=1)}
+        )
+        session = telemetry.enable()
+        try:
+            controller.admit("infer")
+            controller.admit("infer")
+            counters = session.registry.counters()
+            assert counters["admission.admitted.infer"] == 1
+            assert counters["admission.rejected.infer"] == 1
+            assert counters[f"admission.rejected_by_reason.{CONCURRENCY}"] == 1
+            kinds = session.trace.counts()
+            assert kinds.get("admission-reject") == 1
+        finally:
+            telemetry.disable()
+
+    def test_retry_after_floor_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(retry_after_floor_s=-0.1)

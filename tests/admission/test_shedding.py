@@ -1,0 +1,157 @@
+"""Unit tests for utility-aware shed selection."""
+
+import pytest
+
+from repro.admission import (
+    TAIL,
+    UTILITY,
+    expected_utility,
+    reachable_stage,
+    select_shed,
+)
+from repro.scheduler.task import TaskView
+
+
+def view(
+    task_id,
+    arrival_time=0.0,
+    deadline=10.0,
+    num_stages=4,
+    stages_done=0,
+    confidences=(),
+):
+    return TaskView(
+        task_id=task_id,
+        arrival_time=arrival_time,
+        deadline=deadline,
+        num_stages=num_stages,
+        stages_done=stages_done,
+        confidences=tuple(confidences),
+    )
+
+
+class FixedPredictor:
+    """Predictor stub: utility keyed by current confidence, plus a prior."""
+
+    def __init__(self, prior_value=0.3, bonus=0.1):
+        self.prior_value = prior_value
+        self.bonus = bonus
+        self.prior_calls = []
+        self.predict_calls = []
+
+    def prior(self, stage):
+        self.prior_calls.append(stage)
+        return self.prior_value
+
+    def predict(self, from_stage, confidence, target):
+        self.predict_calls.append((from_stage, confidence, target))
+        return confidence + self.bonus
+
+
+class TestReachableStage:
+    def test_zero_stage_time_disables_the_discount(self):
+        assert reachable_stage(view(0, num_stages=4), now=0.0, stage_time_s=0.0) == 3
+
+    def test_slack_limits_the_reachable_stage(self):
+        v = view(0, deadline=2.5, num_stages=6, stages_done=1)
+        # 2.5 s of slack at 1 s/stage buys 2 more stages: 1, 2.
+        assert reachable_stage(v, now=0.0, stage_time_s=1.0) == 2
+
+    def test_doomed_task_reaches_nothing_new(self):
+        v = view(0, deadline=1.0, num_stages=4, stages_done=2)
+        assert reachable_stage(v, now=0.9, stage_time_s=1.0) == 1  # stages_done - 1
+
+    def test_never_exceeds_last_stage(self):
+        v = view(0, deadline=100.0, num_stages=3)
+        assert reachable_stage(v, now=0.0, stage_time_s=1.0) == 2
+
+
+class TestExpectedUtility:
+    def test_doomed_task_is_worth_what_it_holds(self):
+        v = view(0, deadline=1.0, stages_done=2, confidences=(0.4, 0.6))
+        predictor = FixedPredictor()
+        assert expected_utility(v, predictor, now=0.9, stage_time_s=1.0) == 0.6
+        assert predictor.predict_calls == []  # no prediction needed
+
+    def test_fresh_task_uses_the_prior(self):
+        v = view(0, num_stages=4, stages_done=0)
+        predictor = FixedPredictor(prior_value=0.45)
+        assert expected_utility(v, predictor, now=0.0) == 0.45
+        assert predictor.prior_calls == [3]
+
+    def test_started_task_uses_predict_from_last_stage(self):
+        v = view(0, num_stages=4, stages_done=2, confidences=(0.3, 0.5))
+        predictor = FixedPredictor(bonus=0.2)
+        assert expected_utility(v, predictor, now=0.0) == pytest.approx(0.7)
+        assert predictor.predict_calls == [(1, 0.5, 3)]
+
+    def test_prediction_never_undercuts_held_confidence(self):
+        v = view(0, num_stages=4, stages_done=2, confidences=(0.3, 0.9))
+        predictor = FixedPredictor(bonus=-0.5)
+        assert expected_utility(v, predictor, now=0.0) == 0.9
+
+    def test_no_predictor_is_optimistic_about_remaining_depth(self):
+        v = view(0, num_stages=4, stages_done=0)
+        # Reachable stage 3 of 4 -> (3 + 1) / 4 = 1.0 optimism.
+        assert expected_utility(v, None, now=0.0) == 1.0
+        # When slack only buys one stage ((2+1)/4 = 0.75), a higher held
+        # confidence wins the max().
+        held = view(0, deadline=1.0, num_stages=4, stages_done=2, confidences=(0.95,))
+        assert expected_utility(held, None, now=0.0, stage_time_s=1.0) == 0.95
+
+
+class TestSelectShed:
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError):
+            select_shed([view(0)], 1, policy="bogus")
+
+    def test_nothing_to_shed(self):
+        assert select_shed([view(0), view(1)], 0) == []
+        assert select_shed([view(0)], -3) == []
+
+    def test_shedding_everything_returns_all_ids(self):
+        views = [view(2), view(0), view(1)]
+        assert sorted(select_shed(views, 5)) == [0, 1, 2]
+
+    def test_utility_drops_the_least_valuable_first(self):
+        views = [
+            view(0, stages_done=1, confidences=(0.9,)),
+            view(1, stages_done=1, confidences=(0.2,)),
+            view(2, stages_done=1, confidences=(0.6,)),
+        ]
+        predictor = FixedPredictor(bonus=0.0)
+        assert select_shed(views, 2, predictor=predictor) == [1, 2]
+
+    def test_utility_ties_drop_newest_then_highest_id(self):
+        views = [
+            view(0, arrival_time=0.0),
+            view(1, arrival_time=2.0),
+            view(2, arrival_time=2.0),
+        ]
+        # No predictor, identical optimism everywhere -> pure tie-break.
+        assert select_shed(views, 2) == [2, 1]
+
+    def test_doomed_tasks_go_first_under_utility(self):
+        doomed = view(0, deadline=0.5, stages_done=1, confidences=(0.1,))
+        healthy = view(1, deadline=50.0, stages_done=1, confidences=(0.1,))
+        predictor = FixedPredictor(bonus=0.6)
+        assert select_shed(
+            [healthy, doomed],
+            1,
+            predictor=predictor,
+            now=0.4,
+            stage_time_s=1.0,
+            policy=UTILITY,
+        ) == [0]
+
+    def test_tail_drops_newest_arrivals(self):
+        views = [
+            view(0, arrival_time=0.0),
+            view(1, arrival_time=3.0),
+            view(2, arrival_time=1.0),
+        ]
+        assert select_shed(views, 2, policy=TAIL) == [1, 2]
+
+    def test_tail_breaks_arrival_ties_by_highest_id(self):
+        views = [view(0, arrival_time=1.0), view(1, arrival_time=1.0)]
+        assert select_shed(views, 1, policy=TAIL) == [1]

@@ -156,6 +156,44 @@ class TestCachedInferenceService:
         miss = service.estimated_latency_ms("server-after-miss")
         assert miss > server  # miss pays device try + round trip
 
+    def test_miss_latency_after_invalidation_charges_reduced_model(self, served):
+        # Regression: after the cache was invalidated,
+        # "server-after-miss" charged the *full* device inference cost,
+        # but the local attempt that missed ran the small reduced model.
+        model, train_set, cfg = served
+        service = self.make_service(served, hit_window=6)
+        gen = SyntheticImageGenerator(cfg)
+        rng = np.random.default_rng(1)
+        n = 60
+        images, labels, _ = gen.sample(n, rng, difficulty=np.full(n, 0.1))
+        mask = (labels == 0) | (labels == 1)
+        for img in images[mask]:
+            service.query(img)
+        assert service.cached is not None
+        ratio = service.cached.model.num_parameters() / model.num_parameters()
+        assert ratio < 1.0
+        cache_ms_installed = service.estimated_latency_ms("cache")
+        # Drive the real invalidation path: a window of pure misses.
+        service._recent_hits.clear()
+        service._recent_hits.extend([False] * 6)
+        service._maybe_invalidate()
+        assert service.cached is None
+        assert service.stats.invalidations == 1
+        # The miss-time latency still reflects the model that actually ran.
+        assert service.estimated_latency_ms("cache") == pytest.approx(
+            cache_ms_installed
+        )
+        device_infer = 30.0 * service.device.compute_slowdown
+        miss = service.estimated_latency_ms("server-after-miss")
+        server = service.estimated_latency_ms("server")
+        assert miss == pytest.approx(server + device_infer * ratio)
+        assert miss < server + device_infer  # the old full-cost charge
+
+    def test_miss_latency_with_no_install_history_uses_full_cost(self, served):
+        service = self.make_service(served)
+        device_infer = 30.0 * service.device.compute_slowdown
+        assert service.estimated_latency_ms("cache") == pytest.approx(device_infer)
+
     def test_stats_accounting(self, served):
         model, train_set, cfg = served
         service = self.make_service(served)

@@ -133,6 +133,18 @@ class TestPiecewiseLinear:
         pl = PiecewiseLinear(np.linspace(0, 1, 11), np.zeros(11))
         assert pl.num_segments == 10
 
+    def test_rejects_non_finite_knots(self):
+        # Regression: NaN/inf knots used to slip through and poison every
+        # later evaluation; they must be refused at construction.
+        with pytest.raises(ValueError, match="knots_x must be finite"):
+            PiecewiseLinear(np.array([0.0, np.nan]), np.array([0.0, 1.0]))
+        with pytest.raises(ValueError, match="knots_x must be finite"):
+            PiecewiseLinear(np.array([0.0, np.inf]), np.array([0.0, 1.0]))
+        with pytest.raises(ValueError, match="knots_y must be finite"):
+            PiecewiseLinear(np.array([0.0, 1.0]), np.array([np.nan, 1.0]))
+        with pytest.raises(ValueError, match="knots_y must be finite"):
+            PiecewiseLinear(np.array([0.0, 1.0]), np.array([1.0, -np.inf]))
+
 
 class TestApproximateGP:
     def test_close_to_gp_on_smooth_target(self):
@@ -173,3 +185,21 @@ class TestApproximateGP:
             approximate_gp(gp, num_points=0)
         with pytest.raises(ValueError):
             approximate_gp(gp, domain=(1.0, 0.0))
+
+    def test_non_finite_domain_rejected(self):
+        gp = GPRegression().fit(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        with pytest.raises(ValueError, match="finite"):
+            approximate_gp(gp, domain=(0.0, np.inf))
+        with pytest.raises(ValueError, match="finite"):
+            approximate_gp(gp, domain=(np.nan, 1.0))
+
+    def test_degenerate_gp_raises_a_clear_error(self):
+        # Regression: a GP whose posterior went non-finite used to hand
+        # NaN knots straight to PiecewiseLinear; the profiling step must
+        # fail loudly and name the cause instead.
+        class DegenerateGP:
+            def predict(self, xs):
+                return np.full_like(xs, np.nan), np.zeros_like(xs)
+
+        with pytest.raises(ValueError, match="non-finite"):
+            approximate_gp(DegenerateGP(), num_points=4)

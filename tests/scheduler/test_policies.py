@@ -104,6 +104,33 @@ class TestRoundRobin:
         live = view(1)
         assert RoundRobinPolicy().plan([done, live], 0.0) == [(1, 0)]
 
+    def test_rotation_survives_a_shrinking_runnable_set(self):
+        # Regression: the old positional cursor (index mod runnable count)
+        # skewed the rotation whenever tasks left the runnable set between
+        # plans — here it would jump from task 0 straight to task 2,
+        # double-serving 2 and starving 1.
+        policy = RoundRobinPolicy()
+        first = policy.plan([view(0), view(1), view(2)], 0.0)
+        assert first[0] == (0, 0)
+        second = policy.plan([view(1), view(2)], 1.0)
+        assert second[0] == (1, 0)
+
+    def test_rotation_wraps_after_the_highest_id(self):
+        policy = RoundRobinPolicy()
+        tasks = [view(0), view(1)]
+        assert policy.plan(tasks, 0.0)[0] == (0, 0)
+        assert policy.plan(tasks, 1.0)[0] == (1, 0)
+        assert policy.plan(tasks, 2.0)[0] == (0, 0)  # wraps, no skips
+
+    def test_rotation_continues_when_last_served_departs(self):
+        policy = RoundRobinPolicy()
+        assert policy.plan([view(0), view(1), view(2)], 0.0)[0] == (0, 0)
+        assert policy.plan([view(1), view(2)], 1.0)[0] == (1, 0)
+        # Task 1 (the last head) finished too; resume after its id.
+        assert policy.plan([view(0, stages_done=1, confidences=(0.5,)), view(2)], 2.0)[
+            0
+        ] == (2, 0)
+
 
 class TestFIFO:
     def test_runs_oldest_to_completion(self):

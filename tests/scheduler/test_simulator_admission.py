@@ -1,0 +1,186 @@
+"""Admission control applied to the discrete-event pool simulator."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.admission import TAIL, UTILITY, AdmissionConfig
+from repro.scheduler import (
+    FIFOPolicy,
+    GPConfidencePredictor,
+    PoolSimulator,
+    RTDeepIoTPolicy,
+    SimulationConfig,
+    TaskOracle,
+)
+
+
+def make_oracles(n, seed=0):
+    rng = np.random.default_rng(seed)
+    oracles = []
+    for _ in range(n):
+        c1 = rng.uniform(0.12, 0.92)
+        c2 = c1 + 0.5 * (0.97 - c1)
+        c3 = c2 + 0.5 * (0.97 - c2)
+        confs = np.clip([c1, c2, c3], 0.0, 1.0)
+        oracles.append(
+            TaskOracle(
+                confidences=tuple(float(c) for c in confs),
+                predictions=(0, 0, 0),
+                correct=tuple(bool(rng.random() < c) for c in confs),
+            )
+        )
+    return oracles
+
+
+def fitted_predictor(oracles):
+    mat = np.array([o.confidences for o in oracles]).T
+    return GPConfidencePredictor(num_classes=10, seed=0).fit(mat)
+
+
+def run_sim(oracles, policy, admission, **kwargs):
+    config = SimulationConfig(
+        num_workers=2,
+        concurrency=2,
+        latency_constraint=kwargs.pop("latency_constraint", 30.0),
+        admission=admission,
+    )
+    return PoolSimulator(oracles, policy, config, **kwargs).run()
+
+
+class TestBoundedQueue:
+    def test_queue_depth_never_exceeds_the_bound(self):
+        admission = AdmissionConfig(max_queue_depth=3)
+        result = run_sim(make_oracles(12), FIFOPolicy(), admission)
+        assert result.peak_queue_depth <= 3
+        # 12 waiting, 2 admitted into free slots, 3 allowed to queue.
+        assert result.num_shed == 7
+        assert result.shed_fraction == pytest.approx(7 / 12)
+
+    def test_shed_records_received_no_service(self):
+        admission = AdmissionConfig(max_queue_depth=2)
+        result = run_sim(make_oracles(10), FIFOPolicy(), admission)
+        for record in result.records:
+            if record.shed:
+                assert record.outcomes == []
+                assert record.finish_time is None
+            # No task is both shed and served.
+            assert not (record.shed and record.outcomes)
+
+    def test_unbounded_baseline_tracks_peak_depth_but_sheds_nothing(self):
+        result = run_sim(make_oracles(12), FIFOPolicy(), admission=None)
+        assert result.num_shed == 0
+        # The unbounded queue's growth stays visible for comparison.
+        assert result.peak_queue_depth == 10
+
+    def test_served_tasks_accrue_utility(self):
+        admission = AdmissionConfig(max_queue_depth=3)
+        result = run_sim(make_oracles(12), FIFOPolicy(), admission)
+        assert result.num_served > 0
+        assert result.accrued_utility > 0.0
+        assert result.goodput > 0.0
+
+
+class TestShedPolicies:
+    def test_utility_sheds_doomed_tasks_first(self):
+        # First four tasks cannot finish even one stage past the queue wait;
+        # the last four have generous slack.  UTILITY drops the doomed ones.
+        oracles = make_oracles(8, seed=1)
+        constraints = [1.0] * 4 + [20.0] * 4
+        admission = AdmissionConfig(max_queue_depth=2, shed_policy=UTILITY)
+        result = PoolSimulator(
+            oracles,
+            FIFOPolicy(),
+            SimulationConfig(
+                num_workers=2, concurrency=2, latency_constraint=20.0,
+                admission=admission,
+            ),
+            task_latency_constraints=constraints,
+            arrival_times=[0.0] * 8,
+        ).run()
+        shed = sorted(r.task_id for r in result.records if r.shed)
+        assert shed == [0, 1, 2, 3]
+
+    def test_tail_sheds_newest_first(self):
+        oracles = make_oracles(8, seed=1)
+        constraints = [1.0] * 4 + [20.0] * 4
+        admission = AdmissionConfig(max_queue_depth=2, shed_policy=TAIL)
+        result = PoolSimulator(
+            oracles,
+            FIFOPolicy(),
+            SimulationConfig(
+                num_workers=2, concurrency=2, latency_constraint=20.0,
+                admission=admission,
+            ),
+            task_latency_constraints=constraints,
+            arrival_times=[0.0] * 8,
+        ).run()
+        shed = sorted(r.task_id for r in result.records if r.shed)
+        assert shed == [4, 5, 6, 7]
+
+
+class TestDegradeBeforeDrop:
+    def test_excess_tasks_are_stage_capped(self):
+        admission = AdmissionConfig(
+            max_queue_depth=4, degrade_queue_depth=1, degrade_stage_cap=1
+        )
+        result = run_sim(make_oracles(8), FIFOPolicy(), admission)
+        assert result.num_degraded > 0
+        for record in result.records:
+            if record.stage_cap is not None and not record.shed:
+                assert record.stages_done <= record.stage_cap
+
+
+class TestRateLimit:
+    def test_arrivals_past_the_bucket_are_shed(self):
+        admission = AdmissionConfig(rate_limit_per_s=1.0, burst=1)
+        session = telemetry.enable()
+        try:
+            result = run_sim(make_oracles(6), FIFOPolicy(), admission)
+            # One token at t=0; the other five closed-loop arrivals are shed.
+            assert result.num_shed == 5
+            counters = session.registry.counters()
+            assert counters["simulator.tasks_shed"] == 5
+            assert session.trace.counts().get("admission-reject") == 5
+        finally:
+            telemetry.disable()
+
+    def test_spaced_arrivals_pass_the_bucket(self):
+        admission = AdmissionConfig(rate_limit_per_s=1.0, burst=1)
+        result = PoolSimulator(
+            make_oracles(4),
+            FIFOPolicy(),
+            SimulationConfig(
+                num_workers=2, concurrency=2, latency_constraint=30.0,
+                admission=admission,
+            ),
+            arrival_times=[0.0, 1.0, 2.0, 3.0],
+        ).run()
+        assert result.num_shed == 0
+
+
+class TestDeterminism:
+    def test_same_inputs_same_shed_set(self):
+        oracles = make_oracles(16, seed=2)
+        predictor = fitted_predictor(oracles)
+        admission = AdmissionConfig(
+            max_queue_depth=3, degrade_queue_depth=2, degrade_stage_cap=1
+        )
+        arrivals = [0.1 * i for i in range(16)]
+
+        def once():
+            return PoolSimulator(
+                oracles,
+                RTDeepIoTPolicy(predictor, k=1),
+                SimulationConfig(
+                    num_workers=2, concurrency=3, latency_constraint=4.0,
+                    admission=admission,
+                ),
+                arrival_times=arrivals,
+            ).run()
+
+        a, b = once(), once()
+        assert [r.shed for r in a.records] == [r.shed for r in b.records]
+        assert [r.stage_cap for r in a.records] == [r.stage_cap for r in b.records]
+        assert a.goodput == b.goodput
+        assert a.peak_queue_depth == b.peak_queue_depth

@@ -46,16 +46,21 @@ class TestSimulatorResultsUnchangedByDequeSwap:
             failure_seed=3,
         )
         result = PoolSimulator(oracles, RoundRobinPolicy(), config).run()
-        assert result.accuracy == pytest.approx(0.5833333333333334)
+        # Re-pinned after the RoundRobin cursor fix: the old positional
+        # cursor skewed the rotation whenever the runnable set shrank,
+        # double-serving some tasks while starving others.  The id-based
+        # rotation serves the same episode strictly better (13 vs 15
+        # evictions, 11 vs 9 full completions).
+        assert result.accuracy == pytest.approx(0.7083333333333334)
         assert result.makespan == pytest.approx(20.0)
-        assert result.busy_time == pytest.approx(60.0)
-        assert result.num_evicted == 15
-        assert result.num_fully_completed == 9
+        assert result.busy_time == pytest.approx(59.0)
+        assert result.num_evicted == 13
+        assert result.num_fully_completed == 11
         assert list(result.stages_executed) == [
-            1, 3, 3, 2, 1, 2, 1, 2, 2, 2, 2, 2, 1, 3, 1, 3, 3, 1, 3, 3, 3, 3, 2, 1,
+            1, 3, 3, 3, 1, 1, 3, 3, 3, 3, 1, 0, 3, 3, 1, 2, 2, 2, 2, 3, 3, 2, 2, 1,
         ]
         assert result.mean_final_confidence == pytest.approx(
-            0.669285122987, abs=1e-9
+            0.7120927951304812, abs=1e-9
         )
 
     def test_open_loop_episode_pinned(self):

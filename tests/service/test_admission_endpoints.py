@@ -1,0 +1,165 @@
+"""Admission gating at the service endpoints and the typed backpressure
+path through the client (RejectedResponse -> BackpressureError)."""
+
+import pytest
+
+from repro import telemetry
+from repro.admission import (
+    CONCURRENCY,
+    RATE_LIMIT,
+    AdmissionController,
+    EndpointLimits,
+)
+from repro.faults import BackpressureError, RetryPolicy
+from repro.nn import StagedResNet, StagedResNetConfig
+from repro.service import (
+    DeleteRequest,
+    EugeneClient,
+    EugeneService,
+    RejectedResponse,
+)
+
+
+TINY = StagedResNetConfig(
+    num_classes=4, image_size=8, stage_channels=(4, 8), blocks_per_stage=1, seed=0
+)
+
+
+def service_with_models(n=2, admission=None):
+    service = EugeneService(seed=0, admission=admission)
+    for i in range(n):
+        service.registry.register(f"model-{i}", StagedResNet(TINY))
+    return service
+
+
+class TestDeleteEndpoint:
+    def test_delete_removes_the_model(self):
+        service = service_with_models(1)
+        response = service.delete(DeleteRequest(model_id="m1"))
+        assert response.deleted == ("m1",)
+        assert "m1" not in service.registry
+
+    def test_parent_with_children_is_guarded(self):
+        service = service_with_models(1)
+        service.registry.register(
+            "reduced", StagedResNet(TINY), kind="reduced", parent_id="m1"
+        )
+        with pytest.raises(ValueError, match="cascade"):
+            service.delete(DeleteRequest(model_id="m1"))
+        assert "m1" in service.registry  # refused, nothing removed
+
+    def test_cascade_removes_the_subtree(self):
+        service = service_with_models(1)
+        service.registry.register(
+            "reduced", StagedResNet(TINY), kind="reduced", parent_id="m1"
+        )
+        response = service.delete(DeleteRequest(model_id="m1", cascade=True))
+        assert response.deleted[0] == "m1"
+        assert set(response.deleted) == {"m1", "m2"}
+        assert len(service.registry) == 0
+
+    def test_unknown_model_raises(self):
+        service = service_with_models(0)
+        with pytest.raises(KeyError):
+            service.delete(DeleteRequest(model_id="nope"))
+
+
+class TestEndpointGate:
+    def test_ungated_by_default(self):
+        service = service_with_models(2)
+        assert service.admission is None
+        assert service.delete(DeleteRequest(model_id="m1")).deleted == ("m1",)
+
+    def test_rejection_is_a_typed_response_not_an_exception(self):
+        controller = AdmissionController(
+            per_endpoint={"delete": EndpointLimits(rate_per_s=0.001, burst=1)}
+        )
+        service = service_with_models(2, admission=controller)
+        first = service.delete(DeleteRequest(model_id="m1"))
+        assert first.deleted == ("m1",)
+        second = service.delete(DeleteRequest(model_id="m2"))
+        assert isinstance(second, RejectedResponse)
+        assert second.endpoint == "delete"
+        assert second.reason == RATE_LIMIT
+        assert second.retry_after_s > 0
+        assert "m2" in service.registry  # rejected before any work
+
+    def test_concurrency_slot_released_on_success(self):
+        controller = AdmissionController(
+            per_endpoint={"delete": EndpointLimits(max_concurrent=1)}
+        )
+        service = service_with_models(2, admission=controller)
+        assert service.delete(DeleteRequest(model_id="m1")).deleted == ("m1",)
+        # The slot came back: a second sequential call is admitted.
+        assert service.delete(DeleteRequest(model_id="m2")).deleted == ("m2",)
+        assert controller.in_flight("delete") == 0
+
+    def test_concurrency_slot_released_on_endpoint_error(self):
+        controller = AdmissionController(
+            per_endpoint={"delete": EndpointLimits(max_concurrent=1)}
+        )
+        service = service_with_models(1, admission=controller)
+        with pytest.raises(KeyError):
+            service.delete(DeleteRequest(model_id="nope"))
+        assert controller.in_flight("delete") == 0
+        assert service.delete(DeleteRequest(model_id="m1")).deleted == ("m1",)
+
+    def test_default_limits_gate_unlisted_endpoints(self):
+        controller = AdmissionController(
+            default=EndpointLimits(rate_per_s=0.001, burst=1)
+        )
+        service = service_with_models(2, admission=controller)
+        assert service.delete(DeleteRequest(model_id="m1")).deleted == ("m1",)
+        rejected = service.delete(DeleteRequest(model_id="m2"))
+        assert isinstance(rejected, RejectedResponse)
+
+
+class TestClientBackpressure:
+    def test_client_raises_typed_backpressure(self):
+        controller = AdmissionController(
+            per_endpoint={"delete": EndpointLimits(rate_per_s=0.001, burst=1)}
+        )
+        client = EugeneClient(
+            service_with_models(2, admission=controller),
+            retry_policy=RetryPolicy(max_attempts=1),
+        )
+        assert client.delete("m1").deleted == ("m1",)
+        with pytest.raises(BackpressureError) as excinfo:
+            client.delete("m2")
+        assert excinfo.value.reason == RATE_LIMIT
+        assert excinfo.value.endpoint == "delete"
+        assert excinfo.value.retry_after_s > 0
+
+    def test_client_retry_honours_retry_after_and_recovers(self):
+        # Bucket refills fast enough that the retry-after-floored backoff
+        # clears the rejection on the second attempt.
+        controller = AdmissionController(
+            per_endpoint={"delete": EndpointLimits(rate_per_s=100.0, burst=1)}
+        )
+        session = telemetry.enable()
+        try:
+            client = EugeneClient(
+                service_with_models(2, admission=controller),
+                retry_policy=RetryPolicy(max_attempts=3, base_delay_s=0.0),
+            )
+            assert client.delete("m1").deleted == ("m1",)
+            assert client.delete("m2").deleted == ("m2",)  # retried past reject
+            counters = session.registry.counters()
+            assert counters.get("client.rejected.delete", 0) >= 1
+        finally:
+            telemetry.disable()
+
+    def test_backpressure_not_retried_when_attempts_exhausted(self):
+        controller = AdmissionController(
+            per_endpoint={"delete": EndpointLimits(max_concurrent=1)}
+        )
+        service = service_with_models(1, admission=controller)
+        # Hold the only slot so every attempt is rejected.
+        assert controller.admit("delete").admitted
+        client = EugeneClient(
+            service, retry_policy=RetryPolicy(max_attempts=2, base_delay_s=0.0)
+        )
+        with pytest.raises(BackpressureError) as excinfo:
+            client.delete("m1")
+        assert excinfo.value.reason == CONCURRENCY
+        controller.release("delete")

@@ -64,6 +64,53 @@ class TestModelRegistry:
         b = registry.register("b", StagedResNet(TINY))
         assert (a.model_id, b.model_id) == ("m1", "m2")
 
+    def test_children_lists_derived_models(self):
+        registry = ModelRegistry()
+        parent = registry.register("p", StagedResNet(TINY))
+        child = registry.register(
+            "c", StagedResNet(TINY), kind="reduced", parent_id=parent.model_id
+        )
+        registry.register("other", StagedResNet(TINY))
+        assert [e.model_id for e in registry.children(parent.model_id)] == [
+            child.model_id
+        ]
+        assert registry.children(child.model_id) == []
+
+    def test_delete_refuses_parent_with_children(self):
+        # Regression: deleting a parent used to orphan its reduced
+        # children, leaving dangling parent_id references.
+        registry = ModelRegistry()
+        parent = registry.register("p", StagedResNet(TINY))
+        child = registry.register(
+            "c", StagedResNet(TINY), kind="reduced", parent_id=parent.model_id
+        )
+        with pytest.raises(ValueError, match=child.model_id):
+            registry.delete(parent.model_id)
+        assert parent.model_id in registry  # refused atomically
+
+    def test_delete_cascade_removes_the_whole_subtree(self):
+        registry = ModelRegistry()
+        parent = registry.register("p", StagedResNet(TINY))
+        child = registry.register(
+            "c", StagedResNet(TINY), kind="reduced", parent_id=parent.model_id
+        )
+        grandchild = registry.register(
+            "g", StagedResNet(TINY), kind="reduced", parent_id=child.model_id
+        )
+        deleted = registry.delete(parent.model_id, cascade=True)
+        assert deleted[0] == parent.model_id
+        assert set(deleted) == {parent.model_id, child.model_id, grandchild.model_id}
+        assert len(registry) == 0
+
+    def test_delete_leaf_child_then_parent(self):
+        registry = ModelRegistry()
+        parent = registry.register("p", StagedResNet(TINY))
+        child = registry.register(
+            "c", StagedResNet(TINY), kind="reduced", parent_id=parent.model_id
+        )
+        assert registry.delete(child.model_id) == [child.model_id]
+        assert registry.delete(parent.model_id) == [parent.model_id]
+
 
 class TestTrainEndpoint:
     def test_returns_model_and_metrics(self, service_with_model):
