@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos overload overload-smoke bench bench-fast bench-telemetry bench-admission examples experiments clean
+.PHONY: install test chaos overload overload-smoke cluster bench bench-fast bench-telemetry bench-admission bench-cluster examples experiments clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -21,6 +21,10 @@ overload-smoke:
 	$(PYTHON) -m pytest tests/admission tests/faults/test_overload_invariants.py -q
 	$(PYTHON) -m repro.cli overload --smoke --seed 0
 
+cluster:
+	$(PYTHON) -m pytest tests/cluster -q
+	$(PYTHON) -m repro.cli cluster --seed 0
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
@@ -32,6 +36,9 @@ bench-telemetry:
 
 bench-admission:
 	$(PYTHON) -m pytest benchmarks/test_admission_overhead.py --benchmark-only -s
+
+bench-cluster:
+	$(PYTHON) -m pytest benchmarks/test_cluster_overhead.py --benchmark-only -s
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -1,0 +1,92 @@
+"""Router overhead guard — one replica behind the router must be cheap.
+
+With N=1 there is nothing to balance, eject or fail over, so the router
+path reduces to: one dedup/admission check, one placement lookup, one
+queue hop into the replica's worker thread, and the same endpoint call
+the bare service would run.  This bench drives the same micro-batched
+classify two ways:
+
+- **direct** — ``EugeneService.classify`` on the calling thread;
+- **routed** — the same request through ``ServiceRouter`` fronting a
+  single ``ServiceReplica`` (``synthetic_work_s=0``).
+
+The acceptance bar: the routed path stays within 5% of the direct call,
+so fronting a deployment with the router costs (almost) nothing until
+there is actually a cluster behind it.
+"""
+
+import copy
+import time
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.cluster import RouterConfig, ServiceReplica, ServiceRouter
+from repro.service import ClassifyRequest, EugeneService
+
+MICRO_BATCH = 16
+NUM_IMAGES = 64
+REPEATS = 7
+
+
+def _best_time(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.benchmark(group="cluster")
+def test_router_overhead_within_five_percent(benchmark, artifacts, record_result):
+    telemetry.disable()
+    model = artifacts.model
+    model.eval()
+    x = np.asarray(artifacts.test_set.inputs[:NUM_IMAGES], dtype=np.float64)
+
+    service = EugeneService(seed=0)
+    entry = service.registry.register("bench", model)
+    direct_request = ClassifyRequest(
+        model_id=entry.model_id, inputs=x, micro_batch=MICRO_BATCH
+    )
+
+    replica = ServiceReplica("r0", seed=0)
+    router = ServiceRouter([replica], config=RouterConfig(replication_factor=1))
+    gid = router.register_model("bench", copy.deepcopy(model))
+    routed_request = ClassifyRequest(
+        model_id=gid, inputs=x, micro_batch=MICRO_BATCH
+    )
+
+    def direct():
+        return service.classify(direct_request)
+
+    def routed():
+        return router.classify(routed_request)
+
+    try:
+        direct()  # warm scratch buffers on both sides
+        routed()
+
+        def measure():
+            return _best_time(direct), _best_time(routed)
+
+        t_direct, t_routed = benchmark.pedantic(measure, rounds=1, iterations=1)
+    finally:
+        router.shutdown()
+    overhead = t_routed / t_direct - 1.0
+    record_result(
+        "cluster_router_overhead",
+        "\n".join(
+            [
+                f"direct service.classify       : {1e3 * t_direct:8.2f} ms",
+                f"routed via ServiceRouter (N=1): {1e3 * t_routed:8.2f} ms",
+                f"overhead                      : {100 * overhead:+8.2f} %",
+            ]
+        ),
+    )
+    assert t_routed <= 1.05 * t_direct, (
+        f"router at N=1 costs {100 * overhead:.1f}% "
+        f"({1e3 * t_routed:.2f} ms vs {1e3 * t_direct:.2f} ms direct)"
+    )

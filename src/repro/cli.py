@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli metrics [--json] [--events]
     python -m repro.cli chaos [--json] [--seed N]
     python -m repro.cli overload [--json] [--smoke] [--seed N]
+    python -m repro.cli cluster [--json] [--seed N] [--requests N]
 
 The first run of the model-backed experiments trains the benchmark model
 (~4 minutes) and caches it under ``.bench_cache/``.
@@ -34,6 +35,13 @@ bounds; exits non-zero if graceful degradation fails (utility below the
 baseline or queue bound exceeded past 2x capacity).  ``--smoke`` swaps
 the trained benchmark artifacts for synthetic oracles so CI can run the
 sweep in seconds.
+
+``cluster`` runs the replicated-serving scaling sweep (docs/CLUSTER.md):
+the same closed-loop classify workload against 1/2/4 router-fronted
+replicas, then a kill-one-replica failover episode at the largest
+cluster; exits non-zero unless N=4 throughput reaches 2.5x N=1 and the
+kill episode loses zero requests while keeping >= 80%% of the no-kill
+episode's utility.
 """
 
 from __future__ import annotations
@@ -410,6 +418,47 @@ def _overload_main(argv) -> int:
     return 1 if failures else 0
 
 
+def _cluster_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro cluster",
+        description=(
+            "Replicated-serving scaling sweep plus a kill-one-replica "
+            "failover episode (see docs/CLUSTER.md)."
+        ),
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--requests", type=int, default=None, help="override the request count"
+    )
+    args = parser.parse_args(argv)
+
+    from .experiments.cluster_scaling import (
+        ClusterScalingConfig,
+        check_cluster_scaling,
+        format_cluster_scaling,
+        run_cluster_scaling,
+    )
+
+    config = ClusterScalingConfig(seed=args.seed)
+    if args.requests is not None:
+        config.num_requests = args.requests
+    results = run_cluster_scaling(config)
+    if args.json:
+        import json
+
+        print(json.dumps(results, indent=2))
+    else:
+        print(format_cluster_scaling(results))
+
+    failures = check_cluster_scaling(results)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "table1": _table1,
     "fig2": _fig2,
@@ -432,6 +481,8 @@ def main(argv=None) -> int:
         return _chaos_main(argv[1:])
     if argv and argv[0] == "overload":
         return _overload_main(argv[1:])
+    if argv and argv[0] == "cluster":
+        return _cluster_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",

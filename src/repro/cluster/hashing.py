@@ -1,0 +1,52 @@
+"""Rendezvous (highest-random-weight) placement of models on replicas.
+
+Rendezvous hashing gives the router's placement two properties consistent
+hashing buys with far more machinery:
+
+- **Determinism without coordination** — every router (and every test)
+  computes the same holders for a model id from nothing but the id and
+  the replica set; there is no ring state to persist or repair.
+- **Minimal movement** — when a replica joins or leaves, a model moves
+  only if the changed replica ranks inside its top-``R``; in expectation
+  adding one replica to ``N`` relocates ``~R/(N+1)`` of the placements
+  (pinned by ``tests/cluster/test_hashing.py``).
+
+Scores are keyed with ``blake2b`` rather than ``hash`` so placement is
+stable across process restarts and ``PYTHONHASHSEED`` — the same design
+rule as :func:`repro.faults.plan._site_uniform`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+_TWO_64 = float(2**64)
+
+
+def placement_score(model_id: str, replica_id: str) -> float:
+    """Deterministic U[0,1) weight of ``replica_id`` for ``model_id``."""
+    digest = hashlib.blake2b(
+        f"{model_id}|{replica_id}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / _TWO_64
+
+
+def place(
+    model_id: str, replica_ids: Sequence[str], replication_factor: int = 1
+) -> List[str]:
+    """The top-``replication_factor`` replicas for ``model_id``.
+
+    Returned in rank order (highest weight first) — the head of the list
+    is the model's *primary*.  When fewer replicas exist than the factor
+    asks for, every replica holds the model.
+    """
+    if not replica_ids:
+        raise ValueError("cannot place a model on an empty replica set")
+    if replication_factor < 1:
+        raise ValueError("replication_factor must be >= 1")
+    unique = list(dict.fromkeys(replica_ids))
+    ranked = sorted(
+        unique, key=lambda rid: (-placement_score(model_id, rid), rid)
+    )
+    return ranked[: min(replication_factor, len(ranked))]

@@ -1,0 +1,883 @@
+"""The replicated serving tier: N replicas behind one routing facade.
+
+:class:`ServiceRouter` mirrors the :class:`~repro.service.EugeneService`
+endpoint surface (request dataclass in, response dataclass out), so an
+unchanged :class:`~repro.service.EugeneClient` can front a whole cluster.
+Behind that surface it owns four concerns:
+
+**Placement.**  Every model gets a router-global id (``g1``, ``g2``, …)
+and lives on ``replication_factor`` replicas chosen by rendezvous
+hashing (:mod:`repro.cluster.hashing`).  Training runs on one placement
+replica; the freshly registered entry is re-keyed from the replica's
+local id to the global id and copied to the remaining holders.
+
+**Balancing.**  Reads (classify / infer / profile / estimate / label)
+go to one holder chosen by the configured policy — ``round-robin``,
+``least-outstanding``, or ``utility`` (expected utility under the
+model's own GP confidence predictor: a holder whose queue would eat the
+request's latency budget scores by the earlier exit stage it could still
+reach).  Healthy replicas are always preferred over suspect ones.
+
+**Health & failover.**  Per-replica error/latency EWMAs (fed by every
+routed call) and heartbeats (:meth:`ServiceRouter.tick`) drive a
+three-state health judgment; a replica that crashes mid-call or misses
+its heartbeat budget is ejected, its queued calls fail over to surviving
+holders of the same model, and its placements are re-replicated from a
+surviving copy to restore the replication factor.  Each replica sits
+behind its own :class:`~repro.faults.CircuitBreaker`.
+
+**Backpressure & dedup.**  An optional router-level
+:class:`~repro.admission.AdmissionController` composes with per-replica
+admission: the router gate runs first, and a replica-level
+:class:`~repro.service.RejectedResponse` makes the router offer the call
+to another holder before surfacing the rejection.  Mutating requests
+carrying an idempotency key are deduped at the router too, so a client
+retry that re-enters the router cannot re-run placement.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..admission import AdmissionController
+from ..faults import CircuitBreaker, TransientServiceError
+from ..service.messages import (
+    CalibrateRequest,
+    CalibrateResponse,
+    ClassifyRequest,
+    ClassifyResponse,
+    DeepSenseTrainRequest,
+    DeepSenseTrainResponse,
+    DeleteRequest,
+    DeleteResponse,
+    EstimateRequest,
+    EstimateResponse,
+    EstimatorTrainRequest,
+    EstimatorTrainResponse,
+    InferRequest,
+    InferResponse,
+    LabelRequest,
+    LabelResponse,
+    ProfileRequest,
+    ProfileResponse,
+    ReduceRequest,
+    ReduceResponse,
+    RejectedResponse,
+    TrainRequest,
+    TrainResponse,
+)
+from ..service.model_registry import ModelEntry
+from ..service.server import IdempotencyCache
+from ..telemetry.metrics import MetricsRegistry
+from .hashing import place
+from .health import STATUS_RANK, HealthConfig, ReplicaHealth
+from .replica import ReplicaDownError, ServiceReplica
+
+ROUND_ROBIN = "round-robin"
+LEAST_OUTSTANDING = "least-outstanding"
+UTILITY = "utility"
+
+POLICIES = frozenset({ROUND_ROBIN, LEAST_OUTSTANDING, UTILITY})
+
+
+class NoHealthyReplicaError(TransientServiceError):
+    """Every candidate replica is down, open-circuited or failed.
+
+    A :class:`~repro.faults.TransientServiceError` on purpose: replicas
+    recover and circuits close, so a client-side retry policy fronting
+    the router is the right reaction.
+    """
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Routing knobs; defaults suit the in-process test cluster."""
+
+    replication_factor: int = 2
+    policy: str = LEAST_OUTSTANDING
+    #: per-replica call budget; ``None`` waits forever (chaos tests that
+    #: inject ``hang`` faults should always set one).
+    call_timeout_s: Optional[float] = None
+    health: HealthConfig = field(default_factory=HealthConfig)
+    breaker_failure_threshold: int = 5
+    breaker_cooldown_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; choose from {sorted(POLICIES)}"
+            )
+        if self.call_timeout_s is not None and self.call_timeout_s <= 0:
+            raise ValueError("call_timeout_s must be positive when given")
+
+
+class _RegistryView:
+    """Read-only registry facade resolving global ids across replicas.
+
+    Lets code written against ``service.registry`` (e.g.
+    :class:`~repro.service.EdgeDevice` fetching its reduced model) work
+    unchanged when ``service`` is a router.
+    """
+
+    def __init__(self, router: "ServiceRouter") -> None:
+        self._router = router
+
+    def get(self, model_id: str) -> ModelEntry:
+        for rid in self._router.holders(model_id):
+            replica = self._router.replicas.get(rid)
+            if (
+                replica is not None
+                and replica.alive
+                and model_id in replica.service.registry
+            ):
+                return replica.service.registry.get(model_id)
+        raise KeyError(f"unknown model id {model_id!r}")
+
+    def __contains__(self, model_id: str) -> bool:
+        with self._router._lock:
+            return model_id in self._router._placement
+
+    def __len__(self) -> int:
+        with self._router._lock:
+            return len(self._router._placement)
+
+
+class ServiceRouter:
+    """Route the Eugene endpoint surface over N service replicas."""
+
+    def __init__(
+        self,
+        replicas: Sequence[ServiceReplica],
+        config: Optional[RouterConfig] = None,
+        admission: Optional[AdmissionController] = None,
+    ) -> None:
+        if not replicas:
+            raise ValueError("a router needs at least one replica")
+        ids = [r.replica_id for r in replicas]
+        if len(set(ids)) != len(ids):
+            raise ValueError("replica ids must be unique")
+        self.config = config or RouterConfig()
+        self.admission = admission
+        self.replicas: Dict[str, ServiceReplica] = {
+            r.replica_id: r for r in replicas
+        }
+        self.health: Dict[str, ReplicaHealth] = {
+            rid: ReplicaHealth(rid, self.config.health) for rid in ids
+        }
+        self._breakers: Dict[str, CircuitBreaker] = {
+            rid: CircuitBreaker(
+                failure_threshold=self.config.breaker_failure_threshold,
+                cooldown_s=self.config.breaker_cooldown_s,
+            )
+            for rid in ids
+        }
+        #: router-level telemetry (failovers, ejections, dedup hits, …).
+        self.metrics = MetricsRegistry()
+        self._lock = threading.RLock()
+        self._placement: Dict[str, List[str]] = {}
+        self._children: Dict[str, Set[str]] = {}
+        self._parent: Dict[str, str] = {}
+        self._ejected: Set[str] = set()
+        self._ids = itertools.count(1)
+        self._rr = itertools.count()
+        self._dedup = IdempotencyCache()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ServiceRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        for replica in self.replicas.values():
+            replica.shutdown()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def registry(self) -> _RegistryView:
+        return _RegistryView(self)
+
+    def model_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._placement)
+
+    def holders(self, model_id: str) -> List[str]:
+        """Replicas currently holding ``model_id`` (primary first)."""
+        with self._lock:
+            if model_id not in self._placement:
+                raise KeyError(f"unknown model id {model_id!r}")
+            return list(self._placement[model_id])
+
+    def ejected(self) -> List[str]:
+        with self._lock:
+            return sorted(self._ejected)
+
+    def status(self) -> Dict[str, object]:
+        """One structured snapshot of the cluster's health and placement."""
+        with self._lock:
+            placement = {gid: list(h) for gid, h in self._placement.items()}
+            ejected = sorted(self._ejected)
+        per_replica = {}
+        for rid, replica in self.replicas.items():
+            snap = self.health[rid].snapshot()
+            snap["alive"] = replica.alive
+            snap["outstanding"] = replica.outstanding
+            snap["models"] = sum(1 for h in placement.values() if rid in h)
+            per_replica[rid] = snap
+        return {
+            "replicas": per_replica,
+            "models": len(placement),
+            "placement": placement,
+            "ejected": ejected,
+        }
+
+    def cluster_snapshot(self) -> Dict[str, Dict]:
+        """Merged metrics across every replica plus the router itself.
+
+        Built on :meth:`~repro.telemetry.metrics.MetricsRegistry.merge`,
+        so per-replica latency histograms aggregate into one cluster-wide
+        distribution with exact bucket counts.
+        """
+        merged = MetricsRegistry()
+        for replica in self.replicas.values():
+            merged.merge(replica.metrics)
+        merged.merge(self.metrics)
+        return merged.snapshot()
+
+    # ------------------------------------------------------------------
+    # Endpoint surface (mirrors EugeneService)
+    # ------------------------------------------------------------------
+    def train(self, request: TrainRequest) -> TrainResponse:
+        return self._routed(
+            "train", request, lambda: self._train_like("train", request)
+        )
+
+    def train_deepsense(
+        self, request: DeepSenseTrainRequest
+    ) -> DeepSenseTrainResponse:
+        return self._routed(
+            "train_deepsense",
+            request,
+            lambda: self._train_like("train_deepsense", request),
+        )
+
+    def train_estimator(
+        self, request: EstimatorTrainRequest
+    ) -> EstimatorTrainResponse:
+        return self._routed(
+            "train_estimator",
+            request,
+            lambda: self._train_like("train_estimator", request),
+        )
+
+    def reduce(self, request: ReduceRequest) -> ReduceResponse:
+        return self._routed("reduce", request, lambda: self._reduce(request))
+
+    def delete(self, request: DeleteRequest) -> DeleteResponse:
+        return self._routed("delete", request, lambda: self._delete(request))
+
+    def calibrate(self, request: CalibrateRequest) -> CalibrateResponse:
+        return self._routed(
+            "calibrate", request, lambda: self._calibrate(request)
+        )
+
+    def classify(self, request: ClassifyRequest) -> ClassifyResponse:
+        return self._routed(
+            "classify", request, lambda: self._read("classify", request)
+        )
+
+    def infer(self, request: InferRequest) -> InferResponse:
+        return self._routed(
+            "infer", request, lambda: self._read("infer", request)
+        )
+
+    def profile(self, request: ProfileRequest) -> ProfileResponse:
+        return self._routed(
+            "profile", request, lambda: self._read("profile", request)
+        )
+
+    def estimate(self, request: EstimateRequest) -> EstimateResponse:
+        return self._routed(
+            "estimate", request, lambda: self._read("estimate", request)
+        )
+
+    def label(self, request: LabelRequest) -> LabelResponse:
+        def handler():
+            response, _rid = self._dispatch(
+                "label",
+                request,
+                lambda: self._ordered("label", self._routable_ids(), request),
+            )
+            return response
+
+        return self._routed("label", request, handler)
+
+    # ------------------------------------------------------------------
+    # Cluster-wide model management
+    # ------------------------------------------------------------------
+    def register_model(
+        self,
+        name: str,
+        model,
+        *,
+        kind: str = "full",
+        train_set=None,
+        predictor=None,
+        class_map=None,
+        parent_id: Optional[str] = None,
+    ) -> str:
+        """Install a pre-built model on its placement replicas.
+
+        The out-of-band twin of ``train`` for experiments and tests that
+        bring their own model; returns the global model id.
+        """
+        gid = self._next_id()
+        entry = ModelEntry(
+            model_id=gid,
+            name=name,
+            model=model,
+            kind=kind,
+            train_set=train_set,
+            predictor=predictor,
+            class_map=class_map,
+            parent_id=parent_id,
+        )
+        desired = place(
+            gid, self._routable_ids(), self.config.replication_factor
+        )
+        installed = []
+        for rid in desired:
+            try:
+                self._install_on(rid, entry)
+            except TransientServiceError as error:
+                if isinstance(error, ReplicaDownError):
+                    self._on_replica_down(rid, reason=str(error))
+                continue
+            installed.append(rid)
+        if not installed:
+            raise NoHealthyReplicaError(
+                f"no replica could accept model {name!r}"
+            )
+        with self._lock:
+            self._placement[gid] = installed
+            if parent_id is not None:
+                self._children.setdefault(parent_id, set()).add(gid)
+                self._parent[gid] = parent_id
+        return gid
+
+    # ------------------------------------------------------------------
+    # Health plane
+    # ------------------------------------------------------------------
+    def tick(self) -> Dict[str, object]:
+        """One heartbeat round over every non-ejected replica.
+
+        A replica that fails to answer accumulates missed beats; past
+        ``health.max_missed_heartbeats`` it is ejected and its models
+        re-replicated.  Returns :meth:`status` for convenience.
+        """
+        for rid, replica in self.replicas.items():
+            with self._lock:
+                if rid in self._ejected:
+                    continue
+            if not replica.alive:
+                # A corpse answers nothing ever again — no need to burn
+                # the missed-beat budget on it like on a partition.
+                self._on_replica_down(rid, reason="found dead on heartbeat")
+                continue
+            health = self.health[rid]
+            if replica.ping():
+                health.heartbeat_ok()
+            else:
+                health.heartbeat_missed()
+                if not health.routable:
+                    self._on_replica_down(rid, reason="missed heartbeats")
+        return self.status()
+
+    def _on_replica_down(self, rid: str, reason: str) -> None:
+        """Eject a dead/unreachable replica and restore replication."""
+        with self._lock:
+            if rid in self._ejected:
+                return
+            self._ejected.add(rid)
+        self.health[rid].mark_down(reason)
+        self.metrics.counter("router.ejections").inc()
+        self._rereplicate_from(rid)
+
+    def _rereplicate_from(self, dead_rid: str) -> None:
+        with self._lock:
+            affected = [
+                (gid, list(holders))
+                for gid, holders in self._placement.items()
+                if dead_rid in holders
+            ]
+        survivors = self._routable_ids()
+        for gid, holders in affected:
+            sources = [
+                h
+                for h in holders
+                if h in survivors and gid in self.replicas[h].service.registry
+            ]
+            if not sources:
+                # Every copy died with its holders: the model is gone.
+                self.metrics.counter("router.models_lost").inc()
+                with self._lock:
+                    self._placement.pop(gid, None)
+                continue
+            desired = place(
+                gid, survivors, self.config.replication_factor
+            )
+            new_holders = list(dict.fromkeys(sources[:1] + desired))[
+                : self.config.replication_factor
+            ]
+            for target in new_holders:
+                if gid in self.replicas[target].service.registry:
+                    continue
+                try:
+                    self._copy_entry(sources[0], target, gid)
+                except TransientServiceError as error:
+                    if isinstance(error, ReplicaDownError):
+                        self._on_replica_down(target, reason=str(error))
+                    new_holders = [h for h in new_holders if h != target]
+            with self._lock:
+                self._placement[gid] = new_holders
+            self.metrics.counter("router.rereplications").inc()
+
+    # ------------------------------------------------------------------
+    # Routing internals
+    # ------------------------------------------------------------------
+    def _next_id(self) -> str:
+        return f"g{next(self._ids)}"
+
+    def _routable_ids(self) -> List[str]:
+        with self._lock:
+            ejected = set(self._ejected)
+        return [
+            rid
+            for rid, replica in self.replicas.items()
+            if rid not in ejected
+            and replica.alive
+            and self.health[rid].routable
+        ]
+
+    def _routed(
+        self, endpoint: str, request, handler: Callable[[], object]
+    ):
+        """Common wrapper: router dedup + router admission gate."""
+        self.metrics.counter(f"router.calls.{endpoint}").inc()
+        key = getattr(request, "idempotency_key", None)
+        if key is not None:
+            cached = self._dedup.get(endpoint, key)
+            if cached is not None:
+                self.metrics.counter(
+                    f"router.deduplicated.{endpoint}"
+                ).inc()
+                return cached
+        gate: Optional[Tuple[str, Optional[str]]] = None
+        if self.admission is not None:
+            model_id = getattr(request, "model_id", None)
+            decision = self.admission.admit(endpoint, model_id=model_id)
+            if not decision.admitted:
+                self.metrics.counter(f"router.rejected.{endpoint}").inc()
+                return RejectedResponse(
+                    endpoint=endpoint,
+                    reason=decision.reason,
+                    retry_after_s=decision.retry_after_s,
+                    message=(
+                        f"router: {endpoint!r} rejected "
+                        f"({decision.reason} on {decision.key!r}); retry "
+                        f"after {decision.retry_after_s:.3g}s"
+                    ),
+                )
+            gate = (endpoint, model_id)
+        try:
+            response = handler()
+        finally:
+            if gate is not None:
+                self.admission.release(gate[0], model_id=gate[1])
+        if key is not None and not isinstance(response, RejectedResponse):
+            self._dedup.put(endpoint, key, response)
+        return response
+
+    def _read(self, endpoint: str, request):
+        response, _rid = self._dispatch(
+            endpoint,
+            request,
+            lambda: self._ordered(
+                endpoint, self.holders(request.model_id), request
+            ),
+        )
+        return response
+
+    def _dispatch(
+        self,
+        endpoint: str,
+        request,
+        candidates_fn: Callable[[], List[str]],
+    ):
+        """Offer the call to candidates in policy order until one serves.
+
+        Returns ``(response, replica_id)``; a replica-level admission
+        rejection is only surfaced once every candidate rejected or
+        failed (``replica_id`` is then ``None``).  Candidates are
+        recomputed every attempt, so an ejection triggered mid-loop
+        (with its re-replication) immediately widens the options.
+        """
+        tried: Set[str] = set()
+        rejected: Optional[RejectedResponse] = None
+        last_error: Optional[Exception] = None
+        for _ in range(max(1, len(self.replicas))):
+            candidates = [
+                rid for rid in candidates_fn() if rid not in tried
+            ]
+            if not candidates:
+                break
+            rid = candidates[0]
+            tried.add(rid)
+            breaker = self._breakers[rid]
+            if not breaker.allow():
+                continue
+            replica = self.replicas[rid]
+            health = self.health[rid]
+            start = time.perf_counter()
+            try:
+                result = replica.call(
+                    endpoint, request, timeout=self.config.call_timeout_s
+                )
+            except ReplicaDownError as error:
+                breaker.record_failure()
+                self.metrics.counter("router.failovers").inc()
+                self._on_replica_down(rid, reason=str(error))
+                last_error = error
+                continue
+            except FutureTimeoutError:
+                breaker.record_failure()
+                health.record_error()
+                self.metrics.counter("router.failovers").inc()
+                last_error = NoHealthyReplicaError(
+                    f"replica {rid!r} exceeded the "
+                    f"{self.config.call_timeout_s:g}s call budget"
+                )
+                continue
+            except TransientServiceError as error:
+                breaker.record_failure()
+                health.record_error()
+                self.metrics.counter("router.failovers").inc()
+                last_error = error
+                continue
+            elapsed = time.perf_counter() - start
+            if isinstance(result, RejectedResponse):
+                # Backpressure is the replica protecting itself, not a
+                # failure: keep its health intact, try another holder.
+                health.record_success(elapsed)
+                rejected = result
+                continue
+            breaker.record_success()
+            health.record_success(elapsed)
+            return result, rid
+        if rejected is not None:
+            return rejected, None
+        raise NoHealthyReplicaError(
+            f"no routable replica could serve {endpoint!r}"
+            + (f" (last error: {last_error})" if last_error else "")
+        )
+
+    def _ordered(
+        self, endpoint: str, candidate_ids: Sequence[str], request=None
+    ) -> List[str]:
+        # Observing a dead replica while selecting candidates is as good
+        # as a failed call: condemn it now so its models re-replicate
+        # instead of silently skipping it until the next heartbeat round.
+        for rid in candidate_ids:
+            replica = self.replicas.get(rid)
+            if replica is not None and not replica.alive:
+                self._on_replica_down(rid, reason="found dead while routing")
+        with self._lock:
+            ejected = set(self._ejected)
+        alive = [
+            rid
+            for rid in candidate_ids
+            if rid not in ejected
+            and rid in self.replicas
+            and self.replicas[rid].alive
+            and self.health[rid].routable
+        ]
+        if len(alive) <= 1:
+            return alive
+        if self.config.policy == ROUND_ROBIN:
+            ranked = sorted(alive)
+            start = next(self._rr) % len(ranked)
+            rotated = ranked[start:] + ranked[:start]
+            # Stable sort: healthy replicas first, rotation kept within
+            # each health class.
+            return sorted(
+                rotated, key=lambda rid: STATUS_RANK[self.health[rid].status]
+            )
+        if self.config.policy == UTILITY:
+            ordered = self._utility_ordered(alive, request)
+            if ordered is not None:
+                return ordered
+        return sorted(
+            alive,
+            key=lambda rid: (
+                STATUS_RANK[self.health[rid].status],
+                self.replicas[rid].outstanding,
+                rid,
+            ),
+        )
+
+    def _utility_ordered(
+        self, candidates: List[str], request
+    ) -> Optional[List[str]]:
+        """Deadline-aware ordering from the model's confidence curve.
+
+        Expected wait on a replica is its queue depth times its latency
+        EWMA; whatever remains of the request's latency budget bounds the
+        exit stage the scheduler could still reach there, and the GP
+        prior at that stage is the expected utility of sending the
+        request its way.  Falls back to least-outstanding (``None``) when
+        the request carries no budget or the model no predictor.
+        """
+        budget = getattr(request, "latency_constraint_s", None)
+        model_id = getattr(request, "model_id", None)
+        if budget is None or model_id is None:
+            return None
+        predictor = self._predictor_for(model_id)
+        if predictor is None or not getattr(predictor, "num_stages", 0):
+            return None
+        stages = predictor.num_stages
+
+        def expected_utility(rid: str) -> float:
+            service_s = max(self.health[rid].latency_ewma_s, 1e-6)
+            slack = budget - self.replicas[rid].outstanding * service_s
+            if slack <= 0:
+                return 0.0
+            frac = min(1.0, slack / service_s)
+            stage = max(0, min(stages - 1, int(round(frac * stages)) - 1))
+            try:
+                return float(predictor.prior(stage))
+            except Exception:
+                return 0.0
+
+        return sorted(
+            candidates,
+            key=lambda rid: (
+                STATUS_RANK[self.health[rid].status],
+                -expected_utility(rid),
+                self.replicas[rid].outstanding,
+                rid,
+            ),
+        )
+
+    def _predictor_for(self, model_id: str):
+        with self._lock:
+            holders = list(self._placement.get(model_id, ()))
+        for rid in holders:
+            replica = self.replicas.get(rid)
+            if (
+                replica is not None
+                and replica.alive
+                and model_id in replica.service.registry
+            ):
+                return replica.service.registry.get(model_id).predictor
+        return None
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def _train_like(self, endpoint: str, request):
+        gid = self._next_id()
+        response, rid = self._dispatch(
+            endpoint,
+            request,
+            lambda: self._ordered(
+                endpoint,
+                place(
+                    gid,
+                    self._routable_ids(),
+                    self.config.replication_factor,
+                ),
+                request,
+            ),
+        )
+        if rid is None:
+            return response
+        self._rekey(rid, response.model_id, gid)
+        response.model_id = gid
+        self._place_new(gid, rid)
+        return response
+
+    def _reduce(self, request: ReduceRequest):
+        parent_gid = request.model_id
+        response, rid = self._dispatch(
+            "reduce",
+            request,
+            lambda: self._ordered("reduce", self.holders(parent_gid), request),
+        )
+        if rid is None:
+            return response
+        child_gid = self._next_id()
+        self._rekey(rid, response.model_id, child_gid)
+        response.model_id = child_gid
+        self._place_new(child_gid, rid)
+        with self._lock:
+            self._children.setdefault(parent_gid, set()).add(child_gid)
+            self._parent[child_gid] = parent_gid
+        return response
+
+    def _place_new(self, gid: str, serving_rid: str) -> None:
+        """Record placement of a model just created on ``serving_rid``
+        and copy it to the remaining rendezvous holders."""
+        desired = place(
+            gid, self._routable_ids(), self.config.replication_factor
+        )
+        holders = list(dict.fromkeys([serving_rid] + desired))[
+            : self.config.replication_factor
+        ]
+        installed = [serving_rid]
+        for target in holders[1:]:
+            try:
+                self._copy_entry(serving_rid, target, gid)
+            except TransientServiceError as error:
+                if isinstance(error, ReplicaDownError):
+                    self._on_replica_down(target, reason=str(error))
+                continue
+            installed.append(target)
+        with self._lock:
+            self._placement[gid] = installed
+
+    def _calibrate(self, request: CalibrateRequest):
+        gid = request.model_id
+        response, rid = self._dispatch(
+            "calibrate",
+            request,
+            lambda: self._ordered("calibrate", self.holders(gid), request),
+        )
+        if rid is None:
+            return response
+        # Calibration rewrote the holder's entry in place (model alphas,
+        # refitted predictor); refresh every other copy from it so the
+        # replicas keep serving the same model.
+        with self._lock:
+            others = [h for h in self._placement.get(gid, ()) if h != rid]
+        for target in others:
+            try:
+                self._copy_entry(rid, target, gid)
+            except TransientServiceError as error:
+                if isinstance(error, ReplicaDownError):
+                    self._on_replica_down(target, reason=str(error))
+        return response
+
+    def _delete(self, request: DeleteRequest) -> DeleteResponse:
+        gid = request.model_id
+        with self._lock:
+            if gid not in self._placement:
+                raise KeyError(f"unknown model id {gid!r}")
+            children = sorted(self._children.get(gid, ()))
+        if children and not request.cascade:
+            ids = ", ".join(children)
+            raise ValueError(
+                f"model {gid!r} still has reduced children ({ids}); "
+                "delete them first or pass cascade=True"
+            )
+        deleted: List[str] = []
+        self._delete_subtree(gid, deleted)
+        return DeleteResponse(deleted=tuple(deleted))
+
+    def _delete_subtree(self, gid: str, out: List[str]) -> None:
+        out.append(gid)
+        with self._lock:
+            children = sorted(self._children.get(gid, ()))
+            holders = list(self._placement.get(gid, ()))
+        for child in children:
+            self._delete_subtree(child, out)
+        # Deletion is a broadcast: every live holder drops its copy.  A
+        # holder that dies mid-delete takes the copy with it, which is
+        # the outcome we wanted anyway.
+        for rid in holders:
+            replica = self.replicas.get(rid)
+            if replica is None or not replica.alive:
+                continue
+            registry = replica.service.registry
+
+            def drop(registry=registry, gid=gid):
+                if gid in registry:
+                    registry.pop(gid)
+                return None
+
+            try:
+                replica.execute(drop).result(self.config.call_timeout_s)
+            except (TransientServiceError, FutureTimeoutError):
+                pass
+        with self._lock:
+            self._placement.pop(gid, None)
+            self._children.pop(gid, None)
+            parent = self._parent.pop(gid, None)
+            if parent is not None and parent in self._children:
+                self._children[parent].discard(gid)
+
+    # ------------------------------------------------------------------
+    # Replication plumbing
+    # ------------------------------------------------------------------
+    def _rekey(self, rid: str, local_id: str, gid: str) -> None:
+        """Re-key a freshly registered model to its global id, on the
+        replica's own worker thread (serialized with its traffic)."""
+        service = self.replicas[rid].service
+
+        def rekey():
+            entry = service.registry.pop(local_id)
+            entry.model_id = gid
+            service.registry.install(entry)
+            return None
+
+        self.replicas[rid].execute(rekey).result(self.config.call_timeout_s)
+
+    def _copy_entry(self, source_rid: str, target_rid: str, gid: str) -> None:
+        entry = self.replicas[source_rid].service.registry.get(gid)
+        self._install_on(target_rid, entry)
+
+    def _install_on(self, target_rid: str, entry: ModelEntry) -> None:
+        clone = copy.deepcopy(entry)
+        service = self.replicas[target_rid].service
+
+        def install():
+            if clone.model_id in service.registry:
+                service.registry.pop(clone.model_id)
+            service.registry.install(clone)
+            return None
+
+        self.replicas[target_rid].execute(install).result(
+            self.config.call_timeout_s
+        )
+
+
+def make_cluster(
+    num_replicas: int,
+    *,
+    seed: int = 0,
+    synthetic_work_s: float = 0.0,
+    config: Optional[RouterConfig] = None,
+    admission: Optional[AdmissionController] = None,
+) -> ServiceRouter:
+    """Spin up ``num_replicas`` thread-backed replicas behind a router."""
+    if num_replicas < 1:
+        raise ValueError("num_replicas must be >= 1")
+    replicas = [
+        ServiceReplica(
+            f"r{i}", seed=seed + i, synthetic_work_s=synthetic_work_s
+        )
+        for i in range(num_replicas)
+    ]
+    return ServiceRouter(replicas, config=config, admission=admission)

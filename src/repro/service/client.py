@@ -13,6 +13,7 @@ cache misses.
 
 from __future__ import annotations
 
+import uuid
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
@@ -74,12 +75,29 @@ class EugeneClient:
        rejection, whose retry-after hint floors the backoff sleep) are
        retried, with bounded exponential backoff and an optional
        per-request ``timeout_s`` budget;
-    3. the ``client.<endpoint>`` fault-injection site — the "network
-       leg", consulted once per *attempt* so a transient injected error
-       can clear on retry.
+    3. two fault-injection sites modelling the network's two legs, each
+       consulted once per *attempt*: ``client.<endpoint>`` before the
+       call (the request leg) and ``client.<endpoint>.response`` after it
+       (the response leg).  A response-leg fault is the classic
+       at-least-once hazard — the service *executed* but the caller never
+       learned — so the retry redelivers an already-executed request.
 
-    With no fault plan armed and a healthy service, all three layers are
+    Non-idempotent endpoints (train, reduce, delete, …) are protected
+    against that redelivery: the client stamps each logical request with
+    a fresh idempotency key, reused across every retry attempt, and the
+    service dedups on it (see :class:`~repro.service.server.
+    IdempotencyCache`), so a double delivery returns the original
+    response instead of duplicating side effects.
+
+    With no fault plan armed and a healthy service, all layers are
     pass-throughs: behaviour is identical to the plain stub.
+
+    The ``service`` argument accepts anything exposing the endpoint
+    surface — a plain :class:`EugeneService` or a
+    :class:`~repro.cluster.ServiceRouter` fronting N replicas (the
+    router-backed mode: per-replica breakers, failover and placement
+    happen inside the router, underneath this client's per-endpoint
+    breaker and retry policy).
     """
 
     def __init__(
@@ -111,6 +129,10 @@ class EugeneClient:
         def attempt() -> T:
             faults.perform(faults.inject(f"client.{endpoint}"))
             result = fn()
+            # The response leg: the service has already executed; a fault
+            # here loses the answer in transit, and the retry redelivers
+            # the request (idempotency keys make that safe).
+            faults.perform(faults.inject(f"client.{endpoint}.response"))
             if isinstance(result, RejectedResponse):
                 # Typed backpressure from the service's admission layer:
                 # surface it as an exception so the retry policy can back
@@ -158,11 +180,24 @@ class EugeneClient:
                 tel.trace.breaker_close(0.0, endpoint)
         return result
 
+    @staticmethod
+    def _keyed(request: T) -> T:
+        """Stamp a non-idempotent request with a fresh idempotency key.
+
+        One key per *logical* request: the key is set once, before the
+        first attempt, so every retry redelivers under the same key and
+        the service's dedup window can recognise it.  A caller-supplied
+        key is left untouched.
+        """
+        if request.idempotency_key is None:
+            request.idempotency_key = uuid.uuid4().hex
+        return request
+
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
     def train(self, inputs: np.ndarray, labels: np.ndarray, **kwargs) -> TrainResponse:
-        request = TrainRequest(inputs=inputs, labels=labels, **kwargs)
+        request = self._keyed(TrainRequest(inputs=inputs, labels=labels, **kwargs))
         return self._call("train", lambda: self.service.train(request))
 
     def label(
@@ -183,7 +218,7 @@ class EugeneClient:
         return self._call("label", lambda: self.service.label(request))
 
     def reduce(self, model_id: str, **kwargs) -> ReduceResponse:
-        request = ReduceRequest(model_id=model_id, **kwargs)
+        request = self._keyed(ReduceRequest(model_id=model_id, **kwargs))
         return self._call("reduce", lambda: self.service.reduce(request))
 
     def profile(self, model_id: str, **kwargs) -> ProfileResponse:
@@ -191,7 +226,7 @@ class EugeneClient:
         return self._call("profile", lambda: self.service.profile(request))
 
     def delete(self, model_id: str, cascade: bool = False) -> DeleteResponse:
-        request = DeleteRequest(model_id=model_id, cascade=cascade)
+        request = self._keyed(DeleteRequest(model_id=model_id, cascade=cascade))
         return self._call("delete", lambda: self.service.delete(request))
 
     def calibrate(
@@ -209,7 +244,9 @@ class EugeneClient:
     def train_deepsense(
         self, inputs: np.ndarray, labels: np.ndarray, **kwargs
     ) -> DeepSenseTrainResponse:
-        request = DeepSenseTrainRequest(inputs=inputs, labels=labels, **kwargs)
+        request = self._keyed(
+            DeepSenseTrainRequest(inputs=inputs, labels=labels, **kwargs)
+        )
         return self._call(
             "train_deepsense", lambda: self.service.train_deepsense(request)
         )
@@ -221,7 +258,9 @@ class EugeneClient:
     def train_estimator(
         self, inputs: np.ndarray, targets: np.ndarray, **kwargs
     ) -> EstimatorTrainResponse:
-        request = EstimatorTrainRequest(inputs=inputs, targets=targets, **kwargs)
+        request = self._keyed(
+            EstimatorTrainRequest(inputs=inputs, targets=targets, **kwargs)
+        )
         return self._call(
             "train_estimator", lambda: self.service.train_estimator(request)
         )

@@ -19,6 +19,22 @@ from ..nn.deepsense import DeepSenseConfig
 from ..nn.resnet import StagedResNetConfig
 
 
+def _validate_idempotency_key(key: Optional[str]) -> None:
+    """Idempotency keys are optional, but never empty or non-string.
+
+    Non-idempotent endpoints (train, reduce, delete, …) honour the key
+    server-side inside a bounded dedup window, so a retry that redelivers
+    an already-executed request returns the original response instead of
+    duplicating its side effects.  :class:`~repro.service.client.
+    EugeneClient` generates one fresh key per logical request and reuses
+    it across retry attempts.
+    """
+    if key is None:
+        return
+    if not isinstance(key, str) or not key:
+        raise ValueError("idempotency_key must be a non-empty string when given")
+
+
 def _require_finite(name: str, values: np.ndarray) -> None:
     """Reject NaN/inf payloads at the API boundary.
 
@@ -41,8 +57,11 @@ class TrainRequest:
     learning_rate: float = 1e-2
     batch_size: int = 64
     name: str = "model"
+    #: dedup handle for safe retries of this non-idempotent request.
+    idempotency_key: Optional[str] = None
 
     def __post_init__(self) -> None:
+        _validate_idempotency_key(self.idempotency_key)
         if len(self.inputs) != len(self.labels):
             raise ValueError("inputs and labels must have the same length")
         if len(self.inputs) == 0:
@@ -104,8 +123,11 @@ class ReduceRequest:
     class_subset: Optional[Sequence[int]] = None
     max_parameters: Optional[int] = None
     epochs: int = 4
+    #: dedup handle for safe retries of this non-idempotent request.
+    idempotency_key: Optional[str] = None
 
     def __post_init__(self) -> None:
+        _validate_idempotency_key(self.idempotency_key)
         if self.width_fraction is not None and not 0.0 < self.width_fraction <= 1.0:
             raise ValueError("width_fraction must be in (0, 1] when given")
         if self.max_parameters is not None and self.max_parameters < 1:
@@ -201,8 +223,11 @@ class DeleteRequest:
     #: deleting a parent that still has children is refused — a child's
     #: ``parent_id`` must never dangle.
     cascade: bool = False
+    #: dedup handle for safe retries of this non-idempotent request.
+    idempotency_key: Optional[str] = None
 
     def __post_init__(self) -> None:
+        _validate_idempotency_key(self.idempotency_key)
         if not self.model_id:
             raise ValueError("model_id must not be empty")
 
@@ -291,8 +316,11 @@ class DeepSenseTrainRequest:
     batch_size: int = 48
     learning_rate: float = 3e-3
     name: str = "deepsense"
+    #: dedup handle for safe retries of this non-idempotent request.
+    idempotency_key: Optional[str] = None
 
     def __post_init__(self) -> None:
+        _validate_idempotency_key(self.idempotency_key)
         if len(self.inputs) != len(self.labels):
             raise ValueError("inputs and labels must align")
         if len(self.inputs) == 0:
@@ -359,8 +387,11 @@ class EstimatorTrainRequest:
     hidden: int = 32
     steps: int = 400
     name: str = "estimator"
+    #: dedup handle for safe retries of this non-idempotent request.
+    idempotency_key: Optional[str] = None
 
     def __post_init__(self) -> None:
+        _validate_idempotency_key(self.idempotency_key)
         if len(self.inputs) != len(self.targets):
             raise ValueError("inputs and targets must align")
         if len(self.inputs) == 0:

@@ -59,6 +59,33 @@ class ModelRegistry:
         self._entries[model_id] = entry
         return entry
 
+    def install(self, entry: ModelEntry) -> ModelEntry:
+        """Place an entry under its *own* ``model_id`` (the replication path).
+
+        ``register`` mints sequential local ids; a cluster router instead
+        assigns one authoritative id per model and installs copies of the
+        entry on every replica holding it, so the same id resolves on each.
+        Installing over an existing id is refused — replication must never
+        silently shadow a model.
+        """
+        if not entry.model_id:
+            raise ValueError("entry needs a model_id to be installed")
+        if entry.model_id in self._entries:
+            raise ValueError(f"model id {entry.model_id!r} already registered")
+        self._entries[entry.model_id] = entry
+        return entry
+
+    def pop(self, model_id: str) -> ModelEntry:
+        """Remove and return one entry, ignoring parent/child protection.
+
+        Used by the replication path to re-key a freshly trained model to
+        its cluster-wide id; for client-facing deletion semantics use
+        :meth:`delete`.
+        """
+        if model_id not in self._entries:
+            raise KeyError(f"unknown model id {model_id!r}")
+        return self._entries.pop(model_id)
+
     def get(self, model_id: str) -> ModelEntry:
         if model_id not in self._entries:
             raise KeyError(f"unknown model id {model_id!r}")

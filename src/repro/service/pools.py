@@ -34,6 +34,8 @@ a partially-poisoning device still stands out from the honest population.
 from __future__ import annotations
 
 import itertools
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -62,7 +64,24 @@ class Contribution:
 
 
 class DataPool:
-    """A named, access-controlled pool of labelled training data."""
+    """A named, access-controlled pool of labelled training data.
+
+    Thread-safe: contributors are concurrent devices, so every mutation
+    and every view holds the pool's re-entrant lock.  Two invariants the
+    lock buys (and the concurrency regression tests pin):
+
+    - no contribution is ever lost, whatever the interleaving;
+    - one ``contribute`` call's provenance indices are *contiguous*, so a
+      batch can always be attributed (and audited) as a unit.
+
+    ``contribute`` additionally honours an idempotency key: a redelivered
+    batch (a retry after a lost acknowledgement) is recognised inside a
+    bounded dedup window and reports its original accepted count instead
+    of inserting duplicates.
+    """
+
+    #: redelivery window: how many distinct idempotency keys are remembered.
+    DEDUP_WINDOW = 512
 
     def __init__(self, name: str, authorized: Optional[Iterable[str]] = None) -> None:
         if not name:
@@ -72,20 +91,38 @@ class DataPool:
         self._contributions: List[Contribution] = []
         self._quarantined: Set[str] = set()
         self._counter = itertools.count()
+        self._lock = threading.RLock()
+        self._seen_keys: "OrderedDict[str, int]" = OrderedDict()
 
     # -- authorization -------------------------------------------------
     def authorize(self, device_id: str) -> None:
-        self._authorized.add(device_id)
+        with self._lock:
+            self._authorized.add(device_id)
 
     def revoke(self, device_id: str) -> None:
-        self._authorized.discard(device_id)
+        with self._lock:
+            self._authorized.discard(device_id)
 
     def is_authorized(self, device_id: str) -> bool:
-        return device_id in self._authorized
+        with self._lock:
+            return device_id in self._authorized
 
     # -- contribution --------------------------------------------------
-    def contribute(self, device_id: str, samples: np.ndarray, labels: np.ndarray) -> int:
-        """Add labelled samples; returns how many were accepted."""
+    def contribute(
+        self,
+        device_id: str,
+        samples: np.ndarray,
+        labels: np.ndarray,
+        idempotency_key: Optional[str] = None,
+    ) -> int:
+        """Add labelled samples; returns how many were accepted.
+
+        The whole batch is inserted under the pool lock, so concurrent
+        contributors cannot interleave inside it.  When ``idempotency_key``
+        is given and was already accepted (within the dedup window), the
+        batch is recognised as a redelivery: nothing is inserted and the
+        original accepted count is returned.
+        """
         if not self.is_authorized(device_id):
             raise PoolAuthorizationError(
                 f"device {device_id!r} is not authorized for pool {self.name!r}"
@@ -97,38 +134,52 @@ class DataPool:
         labels = np.asarray(labels, dtype=np.int64)
         if len(samples) != len(labels):
             raise ValueError("samples and labels must align")
-        for sample, label in zip(samples, labels):
-            self._contributions.append(
-                Contribution(
-                    device_id=device_id,
-                    index=next(self._counter),
-                    sample=sample,
-                    label=int(label),
+        with self._lock:
+            if idempotency_key is not None:
+                if idempotency_key in self._seen_keys:
+                    return self._seen_keys[idempotency_key]
+            for sample, label in zip(samples, labels):
+                self._contributions.append(
+                    Contribution(
+                        device_id=device_id,
+                        index=next(self._counter),
+                        sample=sample,
+                        label=int(label),
+                    )
                 )
-            )
+            if idempotency_key is not None:
+                self._seen_keys[idempotency_key] = len(samples)
+                while len(self._seen_keys) > self.DEDUP_WINDOW:
+                    self._seen_keys.popitem(last=False)
         return len(samples)
 
     # -- views -----------------------------------------------------------
     @property
     def size(self) -> int:
-        return len(self._contributions)
+        with self._lock:
+            return len(self._contributions)
 
     def contributors(self) -> List[str]:
-        return sorted({c.device_id for c in self._contributions})
+        with self._lock:
+            return sorted({c.device_id for c in self._contributions})
 
     def quarantine(self, device_id: str) -> None:
         """Exclude a device's data from training views (kept for forensics)."""
-        self._quarantined.add(device_id)
+        with self._lock:
+            self._quarantined.add(device_id)
 
     def release(self, device_id: str) -> None:
-        self._quarantined.discard(device_id)
+        with self._lock:
+            self._quarantined.discard(device_id)
 
     @property
     def quarantined(self) -> Set[str]:
-        return set(self._quarantined)
+        with self._lock:
+            return set(self._quarantined)
 
     def _select(self, include: Callable[[Contribution], bool]) -> Tuple[np.ndarray, np.ndarray]:
-        chosen = [c for c in self._contributions if include(c)]
+        with self._lock:
+            chosen = [c for c in self._contributions if include(c)]
         if not chosen:
             return np.zeros((0,)), np.zeros((0,), dtype=np.int64)
         x = np.stack([c.sample for c in chosen])

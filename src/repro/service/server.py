@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import functools
-from typing import Callable, Dict, Optional, TypeVar
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple, TypeVar
 
 import numpy as np
 
@@ -101,6 +103,76 @@ def _admission_gate(endpoint: str) -> Callable[[_F], _F]:
     return decorate
 
 
+class IdempotencyCache:
+    """Bounded dedup window of executed non-idempotent requests.
+
+    Keyed by ``(endpoint, idempotency_key)``; holds the response the first
+    execution produced, so a redelivery (a client retry after a lost
+    response, or a router replaying a request on another attempt) returns
+    the original outcome instead of re-running side effects.  The window
+    is LRU-bounded: the service cannot remember every key forever, so a
+    key replayed after :attr:`capacity` newer keys will re-execute — the
+    standard at-least-once-with-dedup-window contract.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, endpoint: str, key: str) -> Optional[object]:
+        with self._lock:
+            response = self._entries.get((endpoint, key))
+            if response is not None:
+                self._entries.move_to_end((endpoint, key))
+            return response
+
+    def put(self, endpoint: str, key: str, response: object) -> None:
+        with self._lock:
+            self._entries[(endpoint, key)] = response
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+def _idempotent(endpoint: str) -> Callable[[_F], _F]:
+    """Innermost endpoint layer: dedup redelivered mutating requests.
+
+    Sits *under* the fault-injection site, so an injected endpoint error
+    happens before execution and leaves no dedup record (the retry then
+    executes for real), while a response lost *after* execution is caught
+    here on redelivery.  Requests without a key (the default) bypass the
+    cache entirely.
+    """
+
+    def decorate(fn: _F) -> _F:
+        @functools.wraps(fn)
+        def wrapper(self, request, *args, **kwargs):
+            key = getattr(request, "idempotency_key", None)
+            if key is None:
+                return fn(self, request, *args, **kwargs)
+            cached = self.idempotency.get(endpoint, key)
+            if cached is not None:
+                tel = telemetry.active()
+                if tel is not None:
+                    tel.registry.counter(
+                        f"service.deduplicated.{endpoint}"
+                    ).inc()
+                return cached
+            response = fn(self, request, *args, **kwargs)
+            self.idempotency.put(endpoint, key, response)
+            return response
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
 def _serving_metrics(**extra: object) -> Optional[Dict[str, object]]:
     """Summary attached to serving responses when telemetry is enabled.
 
@@ -150,6 +222,9 @@ class EugeneService:
         #: admission control / overload management; ``None`` (default)
         #: admits everything at zero cost.  See :mod:`repro.admission`.
         self.admission = admission
+        #: dedup window for redelivered non-idempotent requests (train,
+        #: reduce, delete, …); see :class:`IdempotencyCache`.
+        self.idempotency = IdempotencyCache()
 
     # ------------------------------------------------------------------
     # Training (Sec. II-A)
@@ -157,6 +232,7 @@ class EugeneService:
     @_admission_gate("train")
     @telemetry.timed("train")
     @faults.endpoint("service.train")
+    @_idempotent("train")
     def train(self, request: TrainRequest) -> TrainResponse:
         """Train a staged model on client data; fit its confidence curves."""
         config = request.model_config or StagedResNetConfig(
@@ -195,6 +271,7 @@ class EugeneService:
     @_admission_gate("train_deepsense")
     @telemetry.timed("train_deepsense")
     @faults.endpoint("service.train_deepsense")
+    @_idempotent("train_deepsense")
     def train_deepsense(self, request: DeepSenseTrainRequest) -> DeepSenseTrainResponse:
         """Train the DeepSense sensor-fusion architecture on time series."""
         inputs = np.asarray(request.inputs, dtype=np.float64)
@@ -292,6 +369,7 @@ class EugeneService:
     @_admission_gate("reduce")
     @telemetry.timed("reduce")
     @faults.endpoint("service.reduce")
+    @_idempotent("reduce")
     def reduce(self, request: ReduceRequest) -> ReduceResponse:
         entry = self.registry.get(request.model_id)
         if entry.train_set is None:
@@ -331,6 +409,7 @@ class EugeneService:
     @_admission_gate("delete")
     @telemetry.timed("delete")
     @faults.endpoint("service.delete")
+    @_idempotent("delete")
     def delete(self, request: DeleteRequest) -> DeleteResponse:
         """Remove a registered model (and, with cascade, its reductions).
 
@@ -386,6 +465,7 @@ class EugeneService:
     @_admission_gate("train_estimator")
     @telemetry.timed("train_estimator")
     @faults.endpoint("service.train_estimator")
+    @_idempotent("train_estimator")
     def train_estimator(self, request: EstimatorTrainRequest) -> EstimatorTrainResponse:
         """Train a Gaussian regressor under the RDeepSense weighted loss."""
         x = np.asarray(request.inputs, dtype=np.float64).reshape(len(request.inputs), -1)

@@ -178,6 +178,46 @@ class Histogram:
                 cumulative += n
             return self._max
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s observations into this histogram, in place.
+
+        The multi-replica aggregation primitive: each replica keeps its own
+        sketch and the cluster view is the merge.  Bucket semantics are
+        preserved exactly — merged counts are the per-bucket sums, so any
+        quantile of the merge carries the same bounded relative error as a
+        single sketch would have over the union of observations.  Both
+        sketches must share ``lo`` and ``growth`` (the bucket boundaries),
+        otherwise counts cannot be combined without re-binning.
+        """
+        if not isinstance(other, Histogram):
+            raise TypeError("can only merge another Histogram")
+        if other._lo != self._lo or other._growth != self._growth:
+            raise ValueError(
+                "histograms with different bucket layouts cannot be merged "
+                f"(lo {self._lo:g}/{other._lo:g}, "
+                f"growth {self._growth:g}/{other._growth:g})"
+            )
+        # Snapshot under the source lock first, then apply under ours —
+        # never hold both locks at once, so concurrent a.merge(b) /
+        # b.merge(a) cannot deadlock.
+        with other._lock:
+            buckets = dict(other._buckets)
+            underflow = other._underflow
+            count = other._count
+            total = other._sum
+            lo_val, hi_val = other._min, other._max
+        with self._lock:
+            for index, n in buckets.items():
+                self._buckets[index] = self._buckets.get(index, 0) + n
+            self._underflow += underflow
+            self._count += count
+            self._sum += total
+            if lo_val < self._min:
+                self._min = lo_val
+            if hi_val > self._max:
+                self._max = hi_val
+        return self
+
     def percentiles(self, ps: Tuple[float, ...] = (50.0, 95.0, 99.0)) -> Dict[str, float]:
         return {f"p{p:g}": self.quantile(p / 100.0) for p in ps}
 
@@ -251,6 +291,34 @@ class MetricsRegistry:
             "gauges": self.gauges(),
             "histograms": self.histograms(),
         }
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry into this one, in place (cluster view).
+
+        Per-replica registries are aggregated instrument-by-instrument:
+
+        - counters add (total requests across replicas);
+        - gauges add — the cluster reading of a per-replica level gauge
+          (queue depth, in-flight) is the sum over replicas;
+        - histograms :meth:`Histogram.merge` (bucket counts add, so
+          cluster-wide p50/p95/p99 stay within the sketch's error bound).
+
+        Instruments present only in ``other`` are created here first, with
+        the same name (and, for histograms, the same bucket layout).
+        """
+        with other._lock:
+            counters = list(other._counters.items())
+            gauges = list(other._gauges.items())
+            histograms = list(other._histograms.items())
+        for name, counter in counters:
+            self.counter(name).inc(counter.value)
+        for name, gauge in gauges:
+            self.gauge(name).inc(gauge.value)
+        for name, histogram in histograms:
+            self.histogram(
+                name, lo=histogram._lo, growth=histogram._growth
+            ).merge(histogram)
+        return self
 
     def reset(self) -> None:
         with self._lock:

@@ -1,0 +1,39 @@
+import numpy as np
+import pytest
+
+from repro import faults, telemetry
+from repro.nn.data import Dataset
+from repro.nn.resnet import StagedResNet, StagedResNetConfig
+from repro.nn.training import collect_stage_outputs
+from repro.scheduler.confidence import GPConfidencePredictor
+
+TINY = StagedResNetConfig(
+    num_classes=3, image_size=8, stage_channels=(4, 8), blocks_per_stage=1, seed=0
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_sessions():
+    faults.uninstall()
+    telemetry.disable()
+    yield
+    faults.uninstall()
+    telemetry.disable()
+
+
+@pytest.fixture
+def tiny_data():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(16, 3, 8, 8)), rng.integers(0, 3, size=16)
+
+
+@pytest.fixture
+def tiny_model(tiny_data):
+    """A trained-enough staged model plus dataset and fitted predictor."""
+    inputs, labels = tiny_data
+    model = StagedResNet(TINY)
+    dataset = Dataset(inputs, labels)
+    predictor = GPConfidencePredictor(num_classes=3, seed=0).fit(
+        collect_stage_outputs(model, dataset)["confidences"]
+    )
+    return model, dataset, predictor

@@ -1,0 +1,102 @@
+"""Rendezvous placement: determinism, balance and minimal movement.
+
+Everything here is exactly reproducible — placement is a pure function
+of (model id, replica ids) — so the movement bounds are pinned as hard
+assertions over a fixed key population, not statistical expectations.
+"""
+
+import pytest
+
+from repro.cluster import place, placement_score
+
+KEYS = [f"model-{i}" for i in range(2000)]
+
+
+def replicas(n):
+    return [f"r{i}" for i in range(n)]
+
+
+class TestScores:
+    def test_scores_are_deterministic_and_in_unit_interval(self):
+        for key in ("a", "model-17", "g42"):
+            s = placement_score(key, "r1")
+            assert s == placement_score(key, "r1")
+            assert 0.0 <= s < 1.0
+
+    def test_scores_distinguish_key_and_replica(self):
+        assert placement_score("a", "r1") != placement_score("a", "r2")
+        assert placement_score("a", "r1") != placement_score("b", "r1")
+
+
+class TestPlace:
+    def test_returns_requested_number_of_distinct_holders(self):
+        holders = place("m", replicas(8), replication_factor=3)
+        assert len(holders) == 3
+        assert len(set(holders)) == 3
+
+    def test_caps_at_the_replica_count(self):
+        assert len(place("m", replicas(2), replication_factor=5)) == 2
+
+    def test_is_independent_of_replica_order(self):
+        ids = replicas(8)
+        assert place("m", ids, 3) == place("m", list(reversed(ids)), 3)
+
+    def test_rejects_empty_replica_set_and_bad_factor(self):
+        with pytest.raises(ValueError):
+            place("m", [], 1)
+        with pytest.raises(ValueError):
+            place("m", replicas(3), 0)
+
+    def test_primary_load_is_roughly_balanced(self):
+        ids = replicas(8)
+        counts = {rid: 0 for rid in ids}
+        for key in KEYS:
+            counts[place(key, ids, 1)[0]] += 1
+        expected = len(KEYS) / len(ids)
+        for rid, count in counts.items():
+            assert 0.5 * expected <= count <= 1.5 * expected, (rid, count)
+
+
+class TestStability:
+    """The property the router's re-replication cost rides on: growing
+    the cluster by one replica relocates only the keys the new replica
+    now wins — about ``R/(N+1)`` of them, bounded here by ``R/N``."""
+
+    def test_adding_a_replica_moves_at_most_one_nth_of_primaries(self):
+        before_ids = replicas(8)
+        after_ids = replicas(9)
+        moved = sum(
+            1
+            for key in KEYS
+            if place(key, before_ids, 1) != place(key, after_ids, 1)
+        )
+        assert moved / len(KEYS) <= 1 / 8
+
+    def test_adding_a_replica_moves_at_most_r_nths_of_holder_sets(self):
+        before_ids = replicas(8)
+        after_ids = replicas(9)
+        changed = 0
+        for key in KEYS:
+            before = set(place(key, before_ids, 2))
+            after = set(place(key, after_ids, 2))
+            changed += len(before - after)
+        # Each key holds 2 copies; at most one copy moves to the newcomer.
+        assert changed / (2 * len(KEYS)) <= 2 / 8
+        for key in KEYS[:200]:
+            before = set(place(key, before_ids, 2))
+            after = set(place(key, after_ids, 2))
+            assert len(before - after) <= 1
+
+    def test_removing_a_replica_only_touches_its_own_keys(self):
+        before_ids = replicas(8)
+        after_ids = replicas(8)[:-1]
+        for key in KEYS[:500]:
+            before = place(key, before_ids, 2)
+            after = place(key, after_ids, 2)
+            if "r7" not in before:
+                assert before == after
+            else:
+                survivors = [rid for rid in before if rid != "r7"]
+                # Surviving holders keep their copies; only the lost
+                # copy is re-homed.
+                assert set(survivors) <= set(after)

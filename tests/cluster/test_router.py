@@ -1,0 +1,377 @@
+"""Router/client round-trips, placement invariants, balancing policies
+and the composition of router- and replica-level admission control."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.admission import AdmissionController, EndpointLimits
+from repro.cluster import (
+    LEAST_OUTSTANDING,
+    ROUND_ROBIN,
+    UTILITY,
+    RouterConfig,
+    ServiceReplica,
+    ServiceRouter,
+    make_cluster,
+)
+from repro.service import (
+    ClassifyRequest,
+    EugeneClient,
+    RejectedResponse,
+    TrainRequest,
+)
+
+from .conftest import TINY
+
+
+def cluster(n=3, **kwargs):
+    return make_cluster(n, **kwargs)
+
+
+class TestRoundTrips:
+    """Every endpoint message round-trips through router and client."""
+
+    def test_train_classify_profile_reduce_delete(self, tiny_data):
+        inputs, labels = tiny_data
+        with cluster(3) as router:
+            client = EugeneClient(router)
+            trained = client.train(
+                inputs, labels, model_config=TINY, epochs=1, name="rt"
+            )
+            assert trained.model_id == "g1"
+            assert len(router.holders("g1")) == 2
+
+            classified = client.classify("g1", inputs)
+            assert len(classified.predictions) == len(inputs)
+
+            profiled = client.profile("g1")
+            assert profiled.total_time_ms > 0
+
+            reduced = client.reduce("g1", width_fraction=0.5, epochs=1)
+            assert reduced.model_id == "g2"
+            assert reduced.parameters < reduced.original_parameters
+
+            with pytest.raises(ValueError):
+                client.delete("g1")  # child g2 still placed
+            deleted = client.delete("g1", cascade=True)
+            assert deleted.deleted == ("g1", "g2")
+            assert router.model_ids() == []
+
+    def test_infer_round_trip(self, tiny_data):
+        inputs, labels = tiny_data
+        with cluster(2) as router:
+            client = EugeneClient(router)
+            trained = client.train(
+                inputs, labels, model_config=TINY, epochs=1
+            )
+            response = client.infer(
+                trained.model_id, inputs[:4], latency_constraint_s=5.0
+            )
+            assert len(response.predictions) == 4
+
+    def test_calibrate_refreshes_every_holder(self, tiny_data):
+        inputs, labels = tiny_data
+        with cluster(3) as router:
+            client = EugeneClient(router)
+            trained = client.train(
+                inputs, labels, model_config=TINY, epochs=1
+            )
+            response = client.calibrate(trained.model_id, inputs, labels)
+            assert len(response.alphas) >= 1
+            holders = router.holders(trained.model_id)
+            alphas = []
+            for rid in holders:
+                entry = router.replicas[rid].service.registry.get(
+                    trained.model_id
+                )
+                alphas.append(
+                    tuple(
+                        float(a)
+                        for a in getattr(entry.model, "alphas", ())
+                    )
+                )
+            # Whatever calibration produced, every copy must agree.
+            assert len(set(alphas)) == 1
+
+    def test_estimator_and_deepsense_families(self):
+        rng = np.random.default_rng(1)
+        with cluster(2) as router:
+            client = EugeneClient(router)
+            x = rng.normal(size=(32, 4))
+            y = x @ rng.normal(size=4)
+            trained = client.train_estimator(x, y, steps=30, hidden=8)
+            estimate = client.estimate(trained.model_id, x[:5])
+            assert estimate.means.shape[0] == 5
+
+            ts = rng.normal(size=(12, 2, 3, 8))
+            labels = rng.integers(0, 2, size=12)
+            ds = client.train_deepsense(ts, labels, steps=3, batch_size=6)
+            classified = client.classify(ds.model_id, ts[:3])
+            assert len(classified.predictions) == 3
+
+    def test_label_runs_on_any_replica(self, tiny_data):
+        inputs, labels = tiny_data
+        with cluster(2) as router:
+            client = EugeneClient(router)
+            response = client.label(
+                inputs[:8].reshape(8, -1),
+                labels[:8],
+                inputs[8:].reshape(8, -1),
+                num_classes=3,
+                method="self-training",
+            )
+            assert len(response.labels) == 8
+
+
+class TestPlacement:
+    def test_every_holder_resolves_the_global_id(self, tiny_data):
+        inputs, labels = tiny_data
+        with cluster(4, config=RouterConfig(replication_factor=3)) as router:
+            client = EugeneClient(router)
+            trained = client.train(
+                inputs, labels, model_config=TINY, epochs=1
+            )
+            holders = router.holders(trained.model_id)
+            assert len(holders) == 3
+            for rid in holders:
+                registry = router.replicas[rid].service.registry
+                assert trained.model_id in registry
+                assert (
+                    registry.get(trained.model_id).model_id
+                    == trained.model_id
+                )
+
+    def test_registry_view_spans_replicas(self, tiny_model):
+        model, dataset, predictor = tiny_model
+        with cluster(3) as router:
+            gid = router.register_model(
+                "view", model, train_set=dataset, predictor=predictor
+            )
+            assert gid in router.registry
+            assert len(router.registry) == 1
+            assert router.registry.get(gid).name == "view"
+            with pytest.raises(KeyError):
+                router.registry.get("g999")
+
+    def test_unknown_model_id_raises_keyerror(self, tiny_data):
+        inputs, _ = tiny_data
+        with cluster(2) as router:
+            with pytest.raises(KeyError):
+                router.classify(
+                    ClassifyRequest(model_id="g404", inputs=inputs)
+                )
+
+    def test_replication_capped_by_cluster_size(self, tiny_model):
+        model, dataset, _ = tiny_model
+        with cluster(2, config=RouterConfig(replication_factor=5)) as router:
+            gid = router.register_model("cap", model, train_set=dataset)
+            assert sorted(router.holders(gid)) == ["r0", "r1"]
+
+
+class TestPolicies:
+    def test_round_robin_rotates_over_holders(self, tiny_model):
+        model, dataset, predictor = tiny_model
+        config = RouterConfig(replication_factor=3, policy=ROUND_ROBIN)
+        with cluster(3, config=config) as router:
+            gid = router.register_model(
+                "rr", model, train_set=dataset, predictor=predictor
+            )
+            for _ in range(6):
+                router.classify(
+                    ClassifyRequest(model_id=gid, inputs=dataset.inputs[:2])
+                )
+            served = {
+                rid: router.replicas[rid]
+                .metrics.counter("replica.calls.classify")
+                .value
+                for rid in router.holders(gid)
+            }
+            # Rotation spreads 6 calls over 3 holders: everyone serves.
+            assert all(count >= 1 for count in served.values()), served
+
+    def test_least_outstanding_avoids_the_busy_replica(self, tiny_model):
+        model, dataset, predictor = tiny_model
+        config = RouterConfig(
+            replication_factor=2, policy=LEAST_OUTSTANDING
+        )
+        with cluster(2, config=config) as router:
+            gid = router.register_model(
+                "lo", model, train_set=dataset, predictor=predictor
+            )
+            busy, idle = router.holders(gid)
+            # Occupy the busy replica's worker so its queue depth stays up.
+            release = {"t": 0.15}
+            blocker = router.replicas[busy].execute(
+                lambda: time.sleep(release["t"])
+            )
+            for _ in range(3):
+                router.classify(
+                    ClassifyRequest(model_id=gid, inputs=dataset.inputs[:2])
+                )
+            blocker.result(2.0)
+            idle_count = (
+                router.replicas[idle]
+                .metrics.counter("replica.calls.classify")
+                .value
+            )
+            assert idle_count == 3
+
+    def test_utility_policy_prefers_the_replica_that_can_still_deliver(
+        self, tiny_model
+    ):
+        model, dataset, predictor = tiny_model
+        config = RouterConfig(replication_factor=2, policy=UTILITY)
+        with cluster(2, config=config) as router:
+            gid = router.register_model(
+                "ut", model, train_set=dataset, predictor=predictor
+            )
+            loaded, free = router.holders(gid)
+            blocker = router.replicas[loaded].execute(
+                lambda: time.sleep(0.15)
+            )
+            request = ClassifyRequest(
+                model_id=gid, inputs=dataset.inputs[:2]
+            )
+            # Tight budget: the loaded replica's expected wait eats it,
+            # so the free replica wins the utility ordering.
+            order = router._ordered(
+                "infer",
+                router.holders(gid),
+                type(
+                    "R",
+                    (),
+                    {"model_id": gid, "latency_constraint_s": 0.05},
+                )(),
+            )
+            blocker.result(2.0)
+            assert order[0] == free
+            router.classify(request)  # and the cluster still serves
+
+    def test_utility_policy_without_predictor_falls_back(self, tiny_model):
+        model, dataset, _ = tiny_model
+        config = RouterConfig(replication_factor=2, policy=UTILITY)
+        with cluster(2, config=config) as router:
+            gid = router.register_model("fb", model, train_set=dataset)
+            response = router.classify(
+                ClassifyRequest(model_id=gid, inputs=dataset.inputs[:2])
+            )
+            assert len(response.predictions) == 2
+
+
+class TestAdmissionComposition:
+    def test_router_gate_rejects_before_any_replica_is_touched(
+        self, tiny_model
+    ):
+        model, dataset, _ = tiny_model
+        admission = AdmissionController(
+            per_endpoint={
+                "classify": EndpointLimits(rate_per_s=0.001, burst=1)
+            }
+        )
+        with cluster(2, admission=admission) as router:
+            gid = router.register_model("gate", model, train_set=dataset)
+            request = ClassifyRequest(
+                model_id=gid, inputs=dataset.inputs[:2]
+            )
+            first = router.classify(request)
+            assert not isinstance(first, RejectedResponse)
+            second = router.classify(request)
+            assert isinstance(second, RejectedResponse)
+            assert second.message.startswith("router:")
+            served = sum(
+                router.replicas[rid]
+                .metrics.counter("replica.calls.classify")
+                .value
+                for rid in router.replicas
+            )
+            assert served == 1  # the rejected call never reached a replica
+
+    def test_replica_rejection_fails_over_to_another_holder(
+        self, tiny_model
+    ):
+        model, dataset, _ = tiny_model
+        with cluster(2) as router:
+            gid = router.register_model("failover", model, train_set=dataset)
+            first, second = router.holders(gid)
+            # Only the preferred holder runs a gate, drained so the next
+            # classify is over its rate budget.
+            gate = AdmissionController(
+                per_endpoint={
+                    "classify": EndpointLimits(rate_per_s=0.001, burst=1)
+                }
+            )
+            gate.admit("classify")
+            router.replicas[first].service.admission = gate
+            response = router.classify(
+                ClassifyRequest(model_id=gid, inputs=dataset.inputs[:2])
+            )
+            assert not isinstance(response, RejectedResponse)
+            assert (
+                router.replicas[second]
+                .metrics.counter("replica.calls.classify")
+                .value
+                >= 1
+            )
+
+    def test_rejection_surfaces_when_every_holder_rejects(self, tiny_model):
+        model, dataset, _ = tiny_model
+        with cluster(2) as router:
+            gid = router.register_model("allreject", model, train_set=dataset)
+            for rid in router.holders(gid):
+                gate = AdmissionController(
+                    per_endpoint={
+                        "classify": EndpointLimits(rate_per_s=0.001, burst=1)
+                    }
+                )
+                gate.admit("classify")
+                router.replicas[rid].service.admission = gate
+            response = router.classify(
+                ClassifyRequest(model_id=gid, inputs=dataset.inputs[:2])
+            )
+            assert isinstance(response, RejectedResponse)
+            assert response.retry_after_s >= 0.0
+
+
+class TestRouterDedup:
+    def test_replayed_train_does_not_re_place(self, tiny_data):
+        inputs, labels = tiny_data
+        with cluster(2) as router:
+            request = TrainRequest(
+                inputs=inputs,
+                labels=labels,
+                model_config=TINY,
+                epochs=1,
+                idempotency_key="train-once",
+            )
+            first = router.train(request)
+            replay = router.train(request)
+            assert replay is first
+            assert router.model_ids() == [first.model_id]
+            assert (
+                router.metrics.counter("router.deduplicated.train").value
+                == 1
+            )
+
+
+class TestValidation:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RouterConfig(replication_factor=0)
+        with pytest.raises(ValueError):
+            RouterConfig(policy="random")
+        with pytest.raises(ValueError):
+            RouterConfig(call_timeout_s=0.0)
+
+    def test_router_needs_replicas_with_unique_ids(self):
+        with pytest.raises(ValueError):
+            ServiceRouter([])
+        a = ServiceReplica("dup")
+        b = ServiceReplica("dup")
+        try:
+            with pytest.raises(ValueError):
+                ServiceRouter([a, b])
+        finally:
+            a.shutdown()
+            b.shutdown()

@@ -1,0 +1,200 @@
+"""Idempotency-key dedup of non-idempotent endpoints (the PR-5 bugfix).
+
+Pre-fix, ``EugeneClient``'s retry policy happily retried train / reduce /
+delete on transient errors and timeouts: safe when the failure hit the
+*request* leg, but a failure on the *response* leg (service executed, the
+answer got lost) made the retry a **redelivery** — a second model
+registered, a second child reduced, a delete replayed into a KeyError.
+The moment a router can replay a request on another replica this goes
+from latent to routine, so every non-idempotent request now carries an
+idempotency key honoured server-side inside a bounded dedup window.
+
+The fault plan's ``client.<endpoint>.response`` site models exactly the
+lost-response leg, so these tests pin true fault-injected double delivery
+end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro import faults, telemetry
+from repro.faults import FaultPlan, FaultSpec, RetryPolicy
+from repro.nn.resnet import StagedResNet, StagedResNetConfig
+from repro.service import (
+    DeleteRequest,
+    EugeneClient,
+    EugeneService,
+    TrainRequest,
+)
+from repro.service.server import IdempotencyCache
+
+
+@pytest.fixture(autouse=True)
+def clean_sessions():
+    faults.uninstall()
+    telemetry.disable()
+    yield
+    faults.uninstall()
+    telemetry.disable()
+
+
+TINY = StagedResNetConfig(
+    num_classes=3, image_size=8, stage_channels=(4, 8), blocks_per_stage=1, seed=0
+)
+
+
+def tiny_data(n=24, seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.normal(size=(n, 3, 8, 8)),
+        rng.integers(0, 3, size=n),
+    )
+
+
+def service_with_models(count=1):
+    service = EugeneService(seed=0)
+    for i in range(count):
+        service.registry.register(f"m-{i}", StagedResNet(TINY))
+    return service
+
+
+class TestServerSideDedup:
+    def test_redelivered_train_registers_exactly_one_model(self):
+        inputs, labels = tiny_data()
+        service = EugeneService(seed=0)
+        request = TrainRequest(
+            inputs=inputs, labels=labels, model_config=TINY, epochs=1,
+            idempotency_key="train-key-1",
+        )
+        first = service.train(request)
+        replay = service.train(request)
+        assert replay.model_id == first.model_id
+        assert replay is first  # the original response, not a re-execution
+        assert len(service.registry) == 1
+
+    def test_redelivered_delete_returns_the_original_outcome(self):
+        service = service_with_models(1)
+        request = DeleteRequest(model_id="m1", idempotency_key="del-key")
+        first = service.delete(request)
+        assert first.deleted == ("m1",)
+        # pre-fix this replay raised KeyError("unknown model id 'm1'")
+        replay = service.delete(request)
+        assert replay.deleted == ("m1",)
+
+    def test_requests_without_a_key_are_not_deduped(self):
+        inputs, labels = tiny_data()
+        service = EugeneService(seed=0)
+        for _ in range(2):
+            service.train(
+                TrainRequest(
+                    inputs=inputs, labels=labels, model_config=TINY, epochs=1
+                )
+            )
+        assert len(service.registry) == 2
+
+    def test_distinct_keys_execute_independently(self):
+        service = service_with_models(2)
+        service.delete(DeleteRequest(model_id="m1", idempotency_key="a"))
+        service.delete(DeleteRequest(model_id="m2", idempotency_key="b"))
+        assert len(service.registry) == 0
+
+    def test_dedup_window_is_bounded_lru(self):
+        cache = IdempotencyCache(capacity=2)
+        cache.put("delete", "k1", "r1")
+        cache.put("delete", "k2", "r2")
+        assert cache.get("delete", "k1") == "r1"  # refreshes k1
+        cache.put("delete", "k3", "r3")  # evicts k2 (least recent)
+        assert cache.get("delete", "k2") is None
+        assert cache.get("delete", "k1") == "r1"
+        assert cache.get("delete", "k3") == "r3"
+        assert len(cache) == 2
+
+    def test_keys_are_scoped_per_endpoint(self):
+        cache = IdempotencyCache()
+        cache.put("train", "k", "train-response")
+        assert cache.get("delete", "k") is None
+
+    def test_invalid_keys_are_rejected_at_the_boundary(self):
+        with pytest.raises(ValueError):
+            DeleteRequest(model_id="m1", idempotency_key="")
+        with pytest.raises(ValueError):
+            DeleteRequest(model_id="m1", idempotency_key=7)
+
+
+class TestFaultInjectedDoubleDelivery:
+    def test_lost_delete_response_is_redelivered_not_replayed(self):
+        # The pinned pre-fix failure: the response leg drops the answer to
+        # an executed delete; the retry redelivers, and without dedup the
+        # second execution raises KeyError instead of succeeding.
+        plan = FaultPlan(
+            seed=0,
+            specs=[FaultSpec("client.delete.response", faults.ERROR, at=(0,))],
+        )
+        service = service_with_models(1)
+        client = EugeneClient(
+            service, retry_policy=RetryPolicy(max_attempts=3, base_delay_s=0.0)
+        )
+        with telemetry.session() as tel, faults.plan_session(plan):
+            response = client.delete("m1")
+            retries = tel.registry.counter("client.retries.delete").value
+            deduped = tel.registry.counter("service.deduplicated.delete").value
+        assert response.deleted == ("m1",)
+        assert "m1" not in service.registry
+        assert retries == 1  # the lost response forced exactly one retry
+        assert deduped == 1  # ... and the redelivery was recognised
+
+    def test_lost_train_response_registers_exactly_one_model(self):
+        inputs, labels = tiny_data()
+        plan = FaultPlan(
+            seed=0,
+            specs=[FaultSpec("client.train.response", faults.ERROR, at=(0,))],
+        )
+        service = EugeneService(seed=0)
+        client = EugeneClient(
+            service, retry_policy=RetryPolicy(max_attempts=3, base_delay_s=0.0)
+        )
+        with faults.plan_session(plan):
+            response = client.train(
+                inputs, labels, model_config=TINY, epochs=1, name="once"
+            )
+        assert len(service.registry) == 1
+        assert service.registry.get(response.model_id).name == "once"
+
+    def test_request_leg_faults_still_retry_and_execute_once(self):
+        # A request-leg fault fires before the service runs: no dedup
+        # record may exist, and the retry must execute for real.
+        plan = FaultPlan(
+            seed=0,
+            specs=[FaultSpec("client.delete", faults.ERROR, at=(0,))],
+        )
+        service = service_with_models(1)
+        client = EugeneClient(
+            service, retry_policy=RetryPolicy(max_attempts=3, base_delay_s=0.0)
+        )
+        with telemetry.session() as tel, faults.plan_session(plan):
+            response = client.delete("m1")
+            deduped = tel.registry.counter("service.deduplicated.delete").value
+        assert response.deleted == ("m1",)
+        assert deduped == 0
+
+    def test_caller_supplied_key_is_preserved_across_retries(self):
+        plan = FaultPlan(
+            seed=0,
+            specs=[FaultSpec("client.delete.response", faults.ERROR, at=(0,))],
+        )
+        service = service_with_models(1)
+        client = EugeneClient(
+            service, retry_policy=RetryPolicy(max_attempts=3, base_delay_s=0.0)
+        )
+        seen = []
+        original = service.delete
+
+        def spying_delete(request):
+            seen.append(request.idempotency_key)
+            return original(request)
+
+        service.delete = spying_delete
+        with faults.plan_session(plan):
+            client.delete("m1")
+        assert len(seen) == 2
+        assert seen[0] == seen[1]  # same logical request, same key

@@ -1,0 +1,166 @@
+"""Concurrency regression tests for :class:`DataPool` (the PR-5 bugfix).
+
+The pre-fix pool mutated shared state with no lock, so concurrent
+contributors interleaved *inside* each other's batches: provenance
+indices of one ``contribute`` call were scattered among other devices'
+rows, and (with views racing mutations) audits could observe torn state.
+These tests force heavy thread interleaving (a tiny switch interval) and
+pin the locked invariants:
+
+- no contribution is ever lost: the pool size is the exact total;
+- one batch's provenance indices are contiguous (batch atomicity —
+  forensics can attribute a batch as a unit);
+- concurrent quarantine/views never raise and always see whole batches;
+- redelivered batches (same idempotency key) are not duplicated, even
+  when the redeliveries race each other.
+"""
+
+import sys
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service import DataPool
+
+
+@pytest.fixture(autouse=True)
+def aggressive_thread_switching():
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-5)
+    yield
+    sys.setswitchinterval(previous)
+
+
+def run_threads(targets):
+    threads = [threading.Thread(target=t) for t in targets]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return threads
+
+
+NUM_DEVICES = 6
+BATCHES = 8
+BATCH = 120
+
+
+def contribute_batches(pool, device, errors):
+    try:
+        rng = np.random.default_rng(hash(device) % (2**32))
+        for _ in range(BATCHES):
+            samples = rng.normal(size=(BATCH, 4))
+            labels = rng.integers(0, 3, size=BATCH)
+            accepted = pool.contribute(device, samples, labels)
+            assert accepted == BATCH
+    except Exception as e:  # pragma: no cover - failure reporting
+        errors.append(e)
+
+
+class TestConcurrentContribution:
+    def test_no_contribution_is_lost(self):
+        pool = DataPool("p", authorized=[f"d{i}" for i in range(NUM_DEVICES)])
+        errors = []
+        run_threads(
+            [
+                (lambda d=f"d{i}": contribute_batches(pool, d, errors))
+                for i in range(NUM_DEVICES)
+            ]
+        )
+        assert not errors
+        assert pool.size == NUM_DEVICES * BATCHES * BATCH
+        x, y = pool.training_view()
+        assert len(x) == len(y) == pool.size
+
+    def test_batches_are_atomic_contiguous_index_runs(self):
+        # The pinned pre-fix failure: with no lock, the per-sample append
+        # loop of one contribute() interleaves with other devices', so a
+        # batch's provenance indices are not contiguous.
+        pool = DataPool("p", authorized=[f"d{i}" for i in range(NUM_DEVICES)])
+        errors = []
+        run_threads(
+            [
+                (lambda d=f"d{i}": contribute_batches(pool, d, errors))
+                for i in range(NUM_DEVICES)
+            ]
+        )
+        assert not errors
+        indices = {}
+        for c in pool._contributions:
+            indices.setdefault(c.device_id, []).append(c.index)
+        for device, idx in indices.items():
+            idx = sorted(idx)
+            runs = []
+            start = prev = idx[0]
+            for i in idx[1:]:
+                if i != prev + 1:
+                    runs.append((start, prev))
+                    start = i
+                prev = i
+            runs.append((start, prev))
+            # every batch is one contiguous run, so a device with B batches
+            # has at most B runs (adjacent batches may merge into one run)
+            assert len(runs) <= BATCHES, (
+                f"device {device} has {len(runs)} index runs for "
+                f"{BATCHES} batches: contribute() batches interleaved"
+            )
+            for start, end in runs:
+                assert (end - start + 1) % BATCH == 0
+
+    def test_views_race_mutations_without_tearing(self):
+        pool = DataPool("p", authorized=[f"d{i}" for i in range(4)])
+        errors = []
+        stop = threading.Event()
+
+        def audit_loop():
+            try:
+                while not stop.is_set():
+                    x, y = pool.training_view()
+                    assert len(x) == len(y)
+                    # whole batches only: every device's visible row count
+                    # is a multiple of the batch size
+                    pool.quarantine("d0")
+                    x0, _ = pool.training_view()
+                    pool.release("d0")
+                    assert len(x0) % BATCH == 0 or len(x0) == 0
+                    pool.contributors()
+            except Exception as e:  # pragma: no cover
+                errors.append(e)
+
+        def writer(device):
+            try:
+                rng = np.random.default_rng(0)
+                for _ in range(BATCHES):
+                    pool.contribute(
+                        device,
+                        rng.normal(size=(BATCH, 4)),
+                        rng.integers(0, 3, size=BATCH),
+                    )
+            except Exception as e:  # pragma: no cover
+                errors.append(e)
+            finally:
+                stop.set()
+
+        auditor = threading.Thread(target=audit_loop)
+        auditor.start()
+        run_threads([(lambda d=f"d{i}": writer(d)) for i in range(1, 4)])
+        stop.set()
+        auditor.join()
+        assert not errors
+
+    def test_racing_redeliveries_insert_exactly_once(self):
+        pool = DataPool("p", authorized=["d0"])
+        rng = np.random.default_rng(0)
+        samples = rng.normal(size=(BATCH, 4))
+        labels = rng.integers(0, 3, size=BATCH)
+        counts = []
+
+        def deliver():
+            counts.append(
+                pool.contribute("d0", samples, labels, idempotency_key="k-1")
+            )
+
+        run_threads([deliver for _ in range(8)])
+        assert pool.size == BATCH  # one insertion, seven deduped replays
+        assert counts == [BATCH] * 8  # every delivery reports the same count

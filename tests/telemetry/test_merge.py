@@ -1,0 +1,143 @@
+"""Merge semantics of histograms and registries (the cluster view).
+
+Before ``Histogram.merge`` existed, multi-replica metrics silently
+reported only one replica: there was no way to combine two sketches, so
+any "cluster" summary was really a single registry's.  These tests pin
+the merge contract the router's cluster view depends on:
+
+- merged counts are exactly ``count(a) + count(b)`` (property-tested);
+- sum/min/max combine exactly; quantiles of the merge match a single
+  histogram fed the union of observations (bucket counts add, so the two
+  are bit-identical, not merely close);
+- mismatched bucket layouts are refused;
+- ``MetricsRegistry.merge`` adds counters, sums gauges, merges
+  histograms, and creates missing instruments.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+
+values = st.floats(
+    min_value=1e-9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+def filled(name, observations, lo=1e-6, growth=1.05):
+    h = Histogram(name, lo=lo, growth=growth)
+    for v in observations:
+        h.observe(v)
+    return h
+
+
+class TestHistogramMerge:
+    @given(a=st.lists(values, max_size=60), b=st.lists(values, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_merged_counts_are_the_sum_of_counts(self, a, b):
+        ha, hb = filled("a", a), filled("b", b)
+        ha.merge(hb)
+        assert ha.count == len(a) + len(b)
+        assert hb.count == len(b)  # the source is untouched
+
+    @given(a=st.lists(values, min_size=1, max_size=60),
+           b=st.lists(values, min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_equals_single_histogram_over_the_union(self, a, b):
+        merged = filled("a", a).merge(filled("b", b))
+        union = filled("u", a + b)
+        assert merged.count == union.count
+        assert merged.sum == pytest.approx(union.sum)
+        assert merged.min == union.min
+        assert merged.max == union.max
+        for q in (0.0, 0.25, 0.5, 0.95, 0.99, 1.0):
+            assert merged.quantile(q) == pytest.approx(union.quantile(q))
+
+    def test_merging_an_empty_histogram_is_a_no_op(self):
+        h = filled("a", [1.0, 2.0, 3.0])
+        h.merge(Histogram("empty"))
+        assert h.count == 3
+        assert h.quantile(0.5) == pytest.approx(2.0, rel=0.06)
+
+    def test_merging_into_an_empty_histogram_copies_the_other(self):
+        h = Histogram("empty")
+        h.merge(filled("a", [5.0, 7.0]))
+        assert h.count == 2
+        assert h.min == 5.0
+        assert h.max == 7.0
+
+    def test_underflow_buckets_merge_too(self):
+        h = filled("a", [0.0, 1.0])
+        h.merge(filled("b", [-1.0]))
+        assert h.count == 3
+        assert h.min == -1.0
+
+    def test_mismatched_bucket_layouts_are_refused(self):
+        with pytest.raises(ValueError):
+            Histogram("a", growth=1.05).merge(Histogram("b", growth=1.1))
+        with pytest.raises(ValueError):
+            Histogram("a", lo=1e-6).merge(Histogram("b", lo=1e-3))
+        with pytest.raises(TypeError):
+            Histogram("a").merge(object())
+
+
+class TestRegistryMerge:
+    def test_counters_add_gauges_sum_histograms_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("requests").inc(3)
+        b.counter("requests").inc(4)
+        a.gauge("queue_depth").set(2)
+        b.gauge("queue_depth").set(5)
+        a.histogram("latency_ms").observe(10.0)
+        b.histogram("latency_ms").observe(30.0)
+        a.merge(b)
+        assert a.counter("requests").value == 7
+        assert a.gauge("queue_depth").value == 7
+        assert a.histogram("latency_ms").count == 2
+        assert a.histogram("latency_ms").max == 30.0
+
+    def test_instruments_only_in_the_source_are_created(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("only_b").inc(2)
+        b.histogram("lat", lo=1e-3, growth=1.2).observe(1.0)
+        a.merge(b)
+        assert a.counter("only_b").value == 2
+        # the created histogram inherits the source's bucket layout, so a
+        # later merge from the same replica cannot be refused
+        a.merge(b)
+        assert a.histogram("lat", lo=1e-3, growth=1.2).count == 2
+
+    def test_source_registry_is_untouched(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("c").inc(1)
+        a.merge(b)
+        assert b.counter("c").value == 1
+        assert b.snapshot()["counters"] == {"c": 1.0}
+
+    def test_cluster_view_over_three_replicas(self):
+        replicas = [MetricsRegistry() for _ in range(3)]
+        for i, reg in enumerate(replicas):
+            reg.counter("replica.calls").inc(i + 1)
+            for v in [1.0 * (i + 1), 2.0 * (i + 1)]:
+                reg.histogram("replica.latency_ms").observe(v)
+        cluster = MetricsRegistry()
+        for reg in replicas:
+            cluster.merge(reg)
+        assert cluster.counter("replica.calls").value == 6
+        assert cluster.histogram("replica.latency_ms").count == 6
+        assert cluster.histogram("replica.latency_ms").max == 6.0
+
+    def test_merged_quantiles_report_every_replica(self):
+        # The pre-merge failure mode: one replica fast, one slow, and the
+        # "cluster" p99 only ever saw the fast one.
+        fast, slow = MetricsRegistry(), MetricsRegistry()
+        for _ in range(50):
+            fast.histogram("latency_ms").observe(1.0)
+            slow.histogram("latency_ms").observe(100.0)
+        cluster = MetricsRegistry().merge(fast).merge(slow)
+        p99 = cluster.histogram("latency_ms").quantile(0.99)
+        assert p99 == pytest.approx(100.0, rel=0.06)
+        assert not math.isnan(p99)
