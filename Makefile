@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos overload overload-smoke cluster bench bench-fast bench-telemetry bench-admission bench-cluster examples experiments clean
+.PHONY: install test chaos overload overload-smoke cluster cluster-proc bench bench-fast bench-telemetry bench-admission bench-cluster examples experiments clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -24,6 +24,11 @@ overload-smoke:
 cluster:
 	$(PYTHON) -m pytest tests/cluster -q
 	$(PYTHON) -m repro.cli cluster --seed 0
+
+cluster-proc:
+	$(PYTHON) -m pytest tests/cluster tests/faults/test_proc_chaos.py -q
+	$(PYTHON) -m repro.cli cluster --seed 0 --backend process \
+		--record bench_results/cluster_scaling_proc.txt
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -1,10 +1,10 @@
-"""Router overhead guard — one replica behind the router must be cheap.
+"""Cluster overhead guards — the router tax and the process-transport tax.
 
-With N=1 there is nothing to balance, eject or fail over, so the router
-path reduces to: one dedup/admission check, one placement lookup, one
-queue hop into the replica's worker thread, and the same endpoint call
-the bare service would run.  This bench drives the same micro-batched
-classify two ways:
+**Router guard.**  With N=1 there is nothing to balance, eject or fail
+over, so the router path reduces to: one dedup/admission check, one
+placement lookup, one queue hop into the replica's worker thread, and
+the same endpoint call the bare service would run.  This bench drives
+the same micro-batched classify two ways:
 
 - **direct** — ``EugeneService.classify`` on the calling thread;
 - **routed** — the same request through ``ServiceRouter`` fronting a
@@ -13,6 +13,16 @@ classify two ways:
 The acceptance bar: the routed path stays within 5% of the direct call,
 so fronting a deployment with the router costs (almost) nothing until
 there is actually a cluster behind it.
+
+**Transport guard.**  A process-backed replica additionally pays, per
+call: pickling the control message, two pipe hops, the shm arena
+round-trip (or inline fallback for tiny payloads), and two thread
+handoffs in the parent.  On a small classify this fixed cost dominates,
+so it is measured as an *absolute* per-call delta against the direct
+service call.  The documented budget is ``PROC_BUDGET_S`` (25 ms) —
+deliberately generous, because this guards the fixed per-call cost
+against regressions (an accidental payload copy, a lost batching of
+pipe writes), not throughput; scaling is the cluster experiment's job.
 """
 
 import copy
@@ -22,12 +32,16 @@ import numpy as np
 import pytest
 
 from repro import telemetry
-from repro.cluster import RouterConfig, ServiceReplica, ServiceRouter
+from repro.cluster import ProcessReplica, RouterConfig, ServiceReplica, ServiceRouter
 from repro.service import ClassifyRequest, EugeneService
 
 MICRO_BATCH = 16
 NUM_IMAGES = 64
 REPEATS = 7
+
+#: per-call budget for the process transport on a small payload.
+PROC_BUDGET_S = 0.025
+PROC_IMAGES = 8
 
 
 def _best_time(fn, repeats=REPEATS):
@@ -89,4 +103,55 @@ def test_router_overhead_within_five_percent(benchmark, artifacts, record_result
     assert t_routed <= 1.05 * t_direct, (
         f"router at N=1 costs {100 * overhead:.1f}% "
         f"({1e3 * t_routed:.2f} ms vs {1e3 * t_direct:.2f} ms direct)"
+    )
+
+
+@pytest.mark.benchmark(group="cluster")
+def test_process_transport_within_budget(benchmark, artifacts, record_result):
+    telemetry.disable()
+    model = artifacts.model
+    model.eval()
+    x = np.asarray(artifacts.test_set.inputs[:PROC_IMAGES], dtype=np.float64)
+
+    service = EugeneService(seed=0)
+    entry = service.registry.register("bench", model)
+    direct_request = ClassifyRequest(model_id=entry.model_id, inputs=x)
+
+    replica = ProcessReplica("p0", seed=0)
+    router = ServiceRouter([replica], config=RouterConfig(replication_factor=1))
+    gid = router.register_model("bench", copy.deepcopy(model))
+    routed_request = ClassifyRequest(model_id=gid, inputs=x)
+
+    def direct():
+        return service.classify(direct_request)
+
+    def routed():
+        return router.classify(routed_request)
+
+    try:
+        direct()  # warm scratch buffers on both sides
+        routed()
+
+        def measure():
+            return _best_time(direct), _best_time(routed)
+
+        t_direct, t_proc = benchmark.pedantic(measure, rounds=1, iterations=1)
+    finally:
+        router.shutdown()
+    replica.assert_no_shm_leaks()
+    transport_cost = t_proc - t_direct
+    record_result(
+        "cluster_proc_transport",
+        "\n".join(
+            [
+                f"direct service.classify         : {1e3 * t_direct:8.2f} ms",
+                f"routed via ProcessReplica (N=1) : {1e3 * t_proc:8.2f} ms",
+                f"per-call transport cost         : {1e3 * transport_cost:8.2f} ms"
+                f"  (budget {1e3 * PROC_BUDGET_S:.0f} ms)",
+            ]
+        ),
+    )
+    assert transport_cost <= PROC_BUDGET_S, (
+        f"process transport costs {1e3 * transport_cost:.2f} ms per call "
+        f"(budget {1e3 * PROC_BUDGET_S:.0f} ms)"
     )

@@ -433,6 +433,42 @@ def _cluster_main(argv) -> int:
     parser.add_argument(
         "--requests", type=int, default=None, help="override the request count"
     )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help=(
+            "replica counts to sweep (default: 1 2 4); the largest also "
+            "hosts the kill-one-replica failover episode"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help=(
+            "replica execution backend: in-process worker threads or "
+            "real multiprocessing children with shm tensor transport"
+        ),
+    )
+    parser.add_argument(
+        "--work",
+        choices=("sleep", "spin"),
+        default=None,
+        help=(
+            "synthetic service-time model (default: sleep for the thread "
+            "backend, spin — compute-bound — for the process backend)"
+        ),
+    )
+    parser.add_argument(
+        "--record",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write the human-readable report to PATH",
+    )
     args = parser.parse_args(argv)
 
     from .experiments.cluster_scaling import (
@@ -442,18 +478,34 @@ def _cluster_main(argv) -> int:
         run_cluster_scaling,
     )
 
-    config = ClusterScalingConfig(seed=args.seed)
+    work = args.work
+    if work is None:
+        work = "spin" if args.backend == "process" else "sleep"
+    config = ClusterScalingConfig(
+        seed=args.seed, backend=args.backend, work_kind=work
+    )
     if args.requests is not None:
         config.num_requests = args.requests
+    if args.replicas is not None:
+        config.replica_counts = tuple(sorted(set(args.replicas)))
     results = run_cluster_scaling(config)
+    report = format_cluster_scaling(results)
     if args.json:
         import json
 
         print(json.dumps(results, indent=2))
     else:
-        print(format_cluster_scaling(results))
+        print(report)
 
     failures = check_cluster_scaling(results)
+    if args.record:
+        from pathlib import Path
+
+        record = Path(args.record)
+        record.parent.mkdir(parents=True, exist_ok=True)
+        lines = [report]
+        lines.extend(f"FAIL: {failure}" for failure in failures)
+        record.write_text("\n".join(lines) + "\n")
     for failure in failures:
         print(f"FAIL: {failure}")
     return 1 if failures else 0

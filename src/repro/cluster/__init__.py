@@ -8,6 +8,11 @@ service, and this package is what turns N of them into one:
   thread, with fault-injection sites (``cluster.replica.call``,
   ``cluster.heartbeat``) that make crashes, partitions and lost
   responses deterministic chaos-test material;
+- :class:`ProcessReplica` — the same replica contract on a real
+  ``multiprocessing`` child with shared-memory tensor transport
+  (:class:`ShmArena`): true multi-core serving, real crash faults
+  (an injected crash is an actual ``kill()``), heartbeats as genuine
+  liveness probes, and a leak-checked shm block allocator;
 - :class:`ServiceRouter` — placement by rendezvous hashing with a
   configurable replication factor, pluggable balancing policies
   (round-robin / least-outstanding / utility-aware on the scheduler's
@@ -40,22 +45,38 @@ from .health import (
     HealthConfig,
     ReplicaHealth,
 )
+from .proc_replica import ProcessReplica
 from .replica import (
     CALL_SITE,
     HEARTBEAT_SITE,
+    WORK_KINDS,
+    WORK_SLEEP,
+    WORK_SPIN,
     ReplicaDownError,
     ResponseLostError,
     ServiceReplica,
+    synthetic_work,
 )
 from .router import (
+    BACKENDS,
     LEAST_OUTSTANDING,
     POLICIES,
+    PROCESS_BACKEND,
     ROUND_ROBIN,
+    THREAD_BACKEND,
     UTILITY,
     NoHealthyReplicaError,
     RouterConfig,
     ServiceRouter,
     make_cluster,
+)
+from .shm import (
+    ShmAllocationError,
+    ShmArena,
+    ShmArrayRef,
+    ShmError,
+    ShmLeakError,
+    ShmStaleBlockError,
 )
 
 __all__ = [
@@ -80,4 +101,18 @@ __all__ = [
     "LEAST_OUTSTANDING",
     "UTILITY",
     "POLICIES",
+    "ProcessReplica",
+    "THREAD_BACKEND",
+    "PROCESS_BACKEND",
+    "BACKENDS",
+    "WORK_SLEEP",
+    "WORK_SPIN",
+    "WORK_KINDS",
+    "synthetic_work",
+    "ShmArena",
+    "ShmArrayRef",
+    "ShmError",
+    "ShmAllocationError",
+    "ShmStaleBlockError",
+    "ShmLeakError",
 ]

@@ -26,6 +26,7 @@ Two fault-injection sites make replicas killable under a deterministic
 
 from __future__ import annotations
 
+import copy
 import queue
 import threading
 import time
@@ -35,6 +36,7 @@ from typing import Callable, Optional
 
 from .. import faults
 from ..faults import InjectedFault, TransientServiceError
+from ..service.model_registry import ModelEntry
 from ..service.server import EugeneService
 from ..telemetry.metrics import MetricsRegistry
 
@@ -43,6 +45,27 @@ HEARTBEAT_SITE = "cluster.heartbeat"
 
 #: Bucket floor for the per-replica latency histogram (milliseconds).
 _LATENCY_LO_MS = 1e-3
+
+#: Synthetic service-time models.  ``sleep`` releases the GIL (I/O-bound
+#: backend: thread replicas overlap it); ``spin`` holds it in a Python
+#: loop (compute-bound backend: only real processes overlap it) — the
+#: load the process-backend scaling gate measures.
+WORK_SLEEP = "sleep"
+WORK_SPIN = "spin"
+WORK_KINDS = frozenset({WORK_SLEEP, WORK_SPIN})
+
+
+def synthetic_work(seconds: float, kind: str = WORK_SLEEP) -> None:
+    """Burn ``seconds`` of synthetic service time in the chosen mode."""
+    if seconds <= 0:
+        return
+    if kind == WORK_SPIN:
+        deadline = time.perf_counter() + seconds
+        acc = 0.0
+        while time.perf_counter() < deadline:
+            acc += 1.0  # pure-Python arithmetic: the GIL never drops
+    else:
+        time.sleep(seconds)
 
 
 class ReplicaDownError(TransientServiceError):
@@ -84,14 +107,20 @@ class ServiceReplica:
         *,
         seed: int = 0,
         synthetic_work_s: float = 0.0,
+        work_kind: str = WORK_SLEEP,
     ) -> None:
         if not replica_id:
             raise ValueError("replica needs a non-empty id")
         if synthetic_work_s < 0:
             raise ValueError("synthetic_work_s must be non-negative")
+        if work_kind not in WORK_KINDS:
+            raise ValueError(
+                f"unknown work_kind {work_kind!r}; choose from {sorted(WORK_KINDS)}"
+            )
         self.replica_id = replica_id
         self.service = service or EugeneService(seed=seed)
         self.synthetic_work_s = synthetic_work_s
+        self.work_kind = work_kind
         #: per-replica telemetry, merged into the router's cluster view.
         self.metrics = MetricsRegistry()
         self._queue: "queue.SimpleQueue[object]" = queue.SimpleQueue()
@@ -156,6 +185,76 @@ class ServiceReplica:
     ):
         """Synchronous :meth:`submit`; blocks for the response."""
         return self.submit(endpoint, request).result(timeout)
+
+    # ------------------------------------------------------------------
+    # Control plane (backend-neutral surface the router programs against)
+    # ------------------------------------------------------------------
+    # A :class:`~repro.cluster.proc_replica.ProcessReplica` implements the
+    # same seven methods over its control pipe, which is what lets the
+    # router treat both backends identically.
+
+    def has_model(self, model_id: str) -> bool:
+        """Whether this replica currently holds ``model_id``."""
+        if not self.alive:
+            return False
+        return model_id in self.service.registry
+
+    def fetch_entry(self, model_id: str) -> ModelEntry:
+        """The live registry entry (raises ``KeyError`` when absent)."""
+        return self.service.registry.get(model_id)
+
+    def install_entry(
+        self, entry: ModelEntry, timeout: Optional[float] = None
+    ) -> None:
+        """Install a copy of ``entry``, replacing any same-id model.
+
+        The copy is deep (process backends get one for free from
+        pickling), so replicas never share mutable model state.
+        """
+        clone = copy.deepcopy(entry)
+
+        def install():
+            if clone.model_id in self.service.registry:
+                self.service.registry.pop(clone.model_id)
+            self.service.registry.install(clone)
+            return None
+
+        self.execute(install).result(timeout)
+
+    def rekey(
+        self, local_id: str, global_id: str, timeout: Optional[float] = None
+    ) -> None:
+        """Re-register a freshly trained model under its router id."""
+
+        def do_rekey():
+            entry = self.service.registry.pop(local_id)
+            entry.model_id = global_id
+            self.service.registry.install(entry)
+            return None
+
+        self.execute(do_rekey).result(timeout)
+
+    def drop_model(
+        self, model_id: str, timeout: Optional[float] = None
+    ) -> None:
+        """Forget ``model_id`` if held (idempotent)."""
+
+        def drop():
+            if model_id in self.service.registry:
+                self.service.registry.pop(model_id)
+            return None
+
+        self.execute(drop).result(timeout)
+
+    def predictor_for(self, model_id: str):
+        """The model's confidence predictor, or ``None``."""
+        if model_id not in self.service.registry:
+            return None
+        return self.service.registry.get(model_id).predictor
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """This replica's metrics, ready to merge into a cluster view."""
+        return self.metrics
 
     # ------------------------------------------------------------------
     # Liveness
@@ -281,8 +380,7 @@ class ServiceReplica:
 
     def _serve(self, item: _Item):
         start = time.perf_counter()
-        if self.synthetic_work_s > 0:
-            time.sleep(self.synthetic_work_s)
+        synthetic_work(self.synthetic_work_s, self.work_kind)
         result = getattr(self.service, item.endpoint)(item.request)
         elapsed_ms = (time.perf_counter() - start) * 1000.0
         self.metrics.counter(f"replica.calls.{item.endpoint}").inc()

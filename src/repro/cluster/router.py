@@ -37,7 +37,6 @@ retry that re-enters the router cannot re-run placement.
 
 from __future__ import annotations
 
-import copy
 import itertools
 import threading
 import time
@@ -77,13 +76,18 @@ from ..service.server import IdempotencyCache
 from ..telemetry.metrics import MetricsRegistry
 from .hashing import place
 from .health import STATUS_RANK, HealthConfig, ReplicaHealth
-from .replica import ReplicaDownError, ServiceReplica
+from .proc_replica import ProcessReplica
+from .replica import WORK_SLEEP, ReplicaDownError, ServiceReplica
 
 ROUND_ROBIN = "round-robin"
 LEAST_OUTSTANDING = "least-outstanding"
 UTILITY = "utility"
 
 POLICIES = frozenset({ROUND_ROBIN, LEAST_OUTSTANDING, UTILITY})
+
+THREAD_BACKEND = "thread"
+PROCESS_BACKEND = "process"
+BACKENDS = frozenset({THREAD_BACKEND, PROCESS_BACKEND})
 
 
 class NoHealthyReplicaError(TransientServiceError):
@@ -136,9 +140,12 @@ class _RegistryView:
             if (
                 replica is not None
                 and replica.alive
-                and model_id in replica.service.registry
+                and replica.has_model(model_id)
             ):
-                return replica.service.registry.get(model_id)
+                try:
+                    return replica.fetch_entry(model_id)
+                except (KeyError, TransientServiceError):
+                    continue  # raced a delete or a death: try the next holder
         raise KeyError(f"unknown model id {model_id!r}")
 
     def __contains__(self, model_id: str) -> bool:
@@ -253,7 +260,11 @@ class ServiceRouter:
         """
         merged = MetricsRegistry()
         for replica in self.replicas.values():
-            merged.merge(replica.metrics)
+            # metrics_registry() captures each source registry in one
+            # critical section (and, for process replicas, folds in the
+            # freshest child snapshot), so a racing writer can never be
+            # observed half-applied in the merged view.
+            merged.merge(replica.metrics_registry())
         merged.merge(self.metrics)
         return merged.snapshot()
 
@@ -428,7 +439,7 @@ class ServiceRouter:
             sources = [
                 h
                 for h in holders
-                if h in survivors and gid in self.replicas[h].service.registry
+                if h in survivors and self.replicas[h].has_model(gid)
             ]
             if not sources:
                 # Every copy died with its holders: the model is gone.
@@ -443,7 +454,7 @@ class ServiceRouter:
                 : self.config.replication_factor
             ]
             for target in new_holders:
-                if gid in self.replicas[target].service.registry:
+                if self.replicas[target].has_model(gid):
                     continue
                 try:
                     self._copy_entry(sources[0], target, gid)
@@ -686,12 +697,14 @@ class ServiceRouter:
             holders = list(self._placement.get(model_id, ()))
         for rid in holders:
             replica = self.replicas.get(rid)
-            if (
-                replica is not None
-                and replica.alive
-                and model_id in replica.service.registry
-            ):
-                return replica.service.registry.get(model_id).predictor
+            if replica is None or not replica.alive:
+                continue
+            try:
+                predictor = replica.predictor_for(model_id)
+            except TransientServiceError:
+                continue
+            if predictor is not None:
+                return predictor
         return None
 
     # ------------------------------------------------------------------
@@ -810,15 +823,8 @@ class ServiceRouter:
             replica = self.replicas.get(rid)
             if replica is None or not replica.alive:
                 continue
-            registry = replica.service.registry
-
-            def drop(registry=registry, gid=gid):
-                if gid in registry:
-                    registry.pop(gid)
-                return None
-
             try:
-                replica.execute(drop).result(self.config.call_timeout_s)
+                replica.drop_model(gid, timeout=self.config.call_timeout_s)
             except (TransientServiceError, FutureTimeoutError):
                 pass
         with self._lock:
@@ -832,52 +838,72 @@ class ServiceRouter:
     # Replication plumbing
     # ------------------------------------------------------------------
     def _rekey(self, rid: str, local_id: str, gid: str) -> None:
-        """Re-key a freshly registered model to its global id, on the
-        replica's own worker thread (serialized with its traffic)."""
-        service = self.replicas[rid].service
-
-        def rekey():
-            entry = service.registry.pop(local_id)
-            entry.model_id = gid
-            service.registry.install(entry)
-            return None
-
-        self.replicas[rid].execute(rekey).result(self.config.call_timeout_s)
+        """Re-key a freshly registered model to its global id, serialized
+        with the replica's own traffic (worker thread or control pipe)."""
+        self.replicas[rid].rekey(
+            local_id, gid, timeout=self.config.call_timeout_s
+        )
 
     def _copy_entry(self, source_rid: str, target_rid: str, gid: str) -> None:
-        entry = self.replicas[source_rid].service.registry.get(gid)
+        entry = self.replicas[source_rid].fetch_entry(gid)
         self._install_on(target_rid, entry)
 
     def _install_on(self, target_rid: str, entry: ModelEntry) -> None:
-        clone = copy.deepcopy(entry)
-        service = self.replicas[target_rid].service
-
-        def install():
-            if clone.model_id in service.registry:
-                service.registry.pop(clone.model_id)
-            service.registry.install(clone)
-            return None
-
-        self.replicas[target_rid].execute(install).result(
-            self.config.call_timeout_s
+        # install_entry deep-copies (thread backend) or pickles (process
+        # backend), so replicas never share mutable model state.
+        self.replicas[target_rid].install_entry(
+            entry, timeout=self.config.call_timeout_s
         )
 
 
 def make_cluster(
     num_replicas: int,
     *,
+    backend: str = THREAD_BACKEND,
     seed: int = 0,
     synthetic_work_s: float = 0.0,
+    work_kind: str = WORK_SLEEP,
     config: Optional[RouterConfig] = None,
     admission: Optional[AdmissionController] = None,
+    start_method: Optional[str] = None,
+    arena_bytes: int = 8 << 20,
+    auto_respawn: bool = False,
 ) -> ServiceRouter:
-    """Spin up ``num_replicas`` thread-backed replicas behind a router."""
+    """Spin up ``num_replicas`` replicas behind a router.
+
+    ``backend="thread"`` keeps every replica a worker thread in this
+    process (cheap, GIL-shared); ``backend="process"`` gives each replica
+    its own ``multiprocessing`` child with shared-memory tensor
+    transport — real core-level parallelism, real crash faults.  The
+    router's surface and invariants are identical for both.
+    """
     if num_replicas < 1:
         raise ValueError("num_replicas must be >= 1")
-    replicas = [
-        ServiceReplica(
-            f"r{i}", seed=seed + i, synthetic_work_s=synthetic_work_s
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}"
         )
-        for i in range(num_replicas)
-    ]
+    if backend == PROCESS_BACKEND:
+        replicas: List = [
+            ProcessReplica(
+                f"r{i}",
+                seed=seed + i,
+                synthetic_work_s=synthetic_work_s,
+                work_kind=work_kind,
+                start_method=start_method,
+                arena_bytes=arena_bytes,
+                auto_respawn=auto_respawn,
+            )
+            for i in range(num_replicas)
+        ]
+    else:
+        replicas = [
+            ServiceReplica(
+                f"r{i}",
+                seed=seed + i,
+                synthetic_work_s=synthetic_work_s,
+                work_kind=work_kind,
+            )
+            for i in range(num_replicas)
+        ]
     return ServiceRouter(replicas, config=config, admission=admission)

@@ -1,0 +1,404 @@
+"""Shared-memory tensor arena: zero-copy ndarray transport between processes.
+
+The process-backed serving tier (:mod:`repro.cluster.proc_replica`) keeps
+its *control plane* on pickled messages over pipes, but ndarray payloads —
+inference inputs, classify windows, response tensors — would pay two full
+serialize/deserialize copies per hop if they rode along.  Instead they
+travel through a :class:`ShmArena`: one ``multiprocessing.shared_memory``
+segment per direction, carved into blocks by a small ref-counted
+allocator.  The pickled message then carries only a tiny
+:class:`ShmArrayRef` (block index + generation tag + the
+:class:`~repro.nn.serialization.NdarrayHeader`), and the receiving side
+maps the block back into a typed numpy view.
+
+Design rules that keep this safe without cross-process locks:
+
+- **Single-writer arenas.**  Every arena has exactly one *owner* process
+  that allocates and frees; the peer only attaches and reads.  Frees for
+  blocks the peer consumed are requested over the message channel, so the
+  allocator metadata is only ever mutated under the owner's in-process
+  lock.  A SIGKILL'd peer therefore can never strand the allocator in a
+  half-updated state — the owner reclaims its in-flight blocks and the
+  arena stays coherent.
+- **Generation tags.**  Each allocation stamps the block's table entry
+  with a fresh generation.  A reader validates the tag (and a nonzero
+  refcount) before *and after* copying, so a stale ref — use-after-free,
+  a replayed message, or scribbled metadata — raises a typed
+  :class:`ShmStaleBlockError` instead of silently yielding garbage.
+- **Leak accounting.**  ``leak_report()`` lists every live block;
+  shutdown paths assert it is empty (``make cluster`` and the CI smoke
+  job gate on zero leaked blocks, including after a replica kill).
+
+Layout of the segment::
+
+    [ block table: max_blocks x (offset, size, generation, refcount) u64 ]
+    [ data region ......................................................]
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from multiprocessing import shared_memory
+
+from ..faults import TransientServiceError
+from ..nn.serialization import NdarrayHeader, ndarray_from_buffer, ndarray_header
+
+#: Allocation granularity; cache-line-ish so adjacent blocks don't share.
+_ALIGN = 64
+
+#: Table entry layout (all uint64): offset, size, generation, refcount.
+_FIELDS = 4
+_ENTRY_BYTES = _FIELDS * 8
+
+_OFFSET, _SIZE, _GENERATION, _REFCOUNT = range(_FIELDS)
+
+
+class ShmError(RuntimeError):
+    """Base class of shared-memory arena failures."""
+
+
+class ShmAllocationError(ShmError):
+    """The arena cannot hold this payload (full table or no free span).
+
+    Callers treat this as a soft failure: the transport falls back to
+    pickling the array inline, so an oversized payload costs speed, not
+    correctness.
+    """
+
+
+class ShmStaleBlockError(ShmError, TransientServiceError):
+    """A block reference failed validation (generation/refcount mismatch).
+
+    Use-after-free, a replayed message or corrupted metadata all land
+    here.  It subclasses :class:`~repro.faults.TransientServiceError`
+    because a router should treat the payload as lost in transit and
+    retry on another holder, exactly like a dropped response.
+    """
+
+
+class ShmLeakError(ShmError):
+    """Live blocks survived a shutdown that promised to release them."""
+
+
+@dataclass(frozen=True)
+class ShmArrayRef:
+    """Pickled stand-in for an ndarray riding through an arena."""
+
+    arena: str
+    index: int
+    generation: int
+    header: NdarrayHeader
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment.
+
+    ``multiprocessing`` children share the parent's ``resource_tracker``
+    process, so the attach-side registration is a set-add no-op and the
+    segment's lifetime stays with whoever :meth:`ShmArena.destroy`\\ s it
+    (the parent, by protocol — so a SIGKILL'd child can never orphan an
+    OS segment, and never tears one out from under the parent either).
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+class ShmArena:
+    """One shared-memory segment with a ref-counted block allocator.
+
+    Create with :meth:`create` in the owner process; the peer calls
+    :meth:`attach` with the arena's ``name``.  Only the owner may
+    allocate, ``incref`` or ``decref``; both sides may :meth:`read_array`.
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        *,
+        owner: bool,
+        max_blocks: int,
+    ) -> None:
+        self._segment = segment
+        self._owner = owner
+        self._max_blocks = max_blocks
+        self._table = np.ndarray(
+            (max_blocks, _FIELDS),
+            dtype=np.uint64,
+            buffer=segment.buf[: max_blocks * _ENTRY_BYTES],
+        )
+        self._data_start = max_blocks * _ENTRY_BYTES
+        self._capacity = segment.size - self._data_start
+        self._lock = threading.Lock()
+        self._closed = False
+        #: whether this handle created the OS segment (and may unlink it);
+        #: distinct from the allocator role (``owner``).
+        self._creator = False
+        if owner:
+            self._table[:] = 0
+            self._free_spans: List[Tuple[int, int]] = [(0, self._capacity)]
+            self._free_indices: List[int] = list(range(max_blocks - 1, -1, -1))
+            self._next_generation = 1
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        capacity_bytes: int = 8 << 20,
+        max_blocks: int = 256,
+        name: Optional[str] = None,
+        owner: bool = True,
+    ) -> "ShmArena":
+        """Create the OS segment; with ``owner=False`` only zero the table.
+
+        The serving protocol has the *parent* create every segment (so it
+        can always unlink them, even after killing a child) while the
+        allocator role for the child→parent direction is taken by the
+        child via :meth:`adopt`.
+        """
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if max_blocks < 1:
+            raise ValueError("max_blocks must be >= 1")
+        total = max_blocks * _ENTRY_BYTES + capacity_bytes
+        segment = shared_memory.SharedMemory(
+            name=name, create=True, size=total
+        )
+        arena = cls(segment, owner=True, max_blocks=max_blocks)
+        arena._creator = True
+        if not owner:
+            arena._owner = False
+        return arena
+
+    @classmethod
+    def attach(cls, name: str, max_blocks: int = 256) -> "ShmArena":
+        """Attach as a reader (no allocator rights)."""
+        return cls(_attach_segment(name), owner=False, max_blocks=max_blocks)
+
+    @classmethod
+    def adopt(cls, name: str, max_blocks: int = 256) -> "ShmArena":
+        """Attach as the allocator-owner of a freshly created segment.
+
+        Must happen before any allocation in the arena: adoption resets
+        the block table and free lists.  This is how a child process
+        takes the single-writer role for its response arena while the
+        parent retains segment (unlink) ownership.
+        """
+        segment = _attach_segment(name)
+        return cls(segment, owner=True, max_blocks=max_blocks)
+
+    @property
+    def name(self) -> str:
+        return self._segment.name
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._capacity
+
+    @property
+    def is_owner(self) -> bool:
+        return self._owner
+
+    def close(self) -> None:
+        """Detach from the segment (both sides; idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        # Views into the buffer must die before the mmap can close.
+        self._table = None
+        self._segment.close()
+
+    def destroy(self) -> None:
+        """Creator-side teardown: detach and unlink the OS segment."""
+        if not self._creator:
+            raise ShmError("only the arena's creator may destroy it")
+        self.close()
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - double destroy
+            pass
+
+    # ------------------------------------------------------------------
+    # Allocation (owner only)
+    # ------------------------------------------------------------------
+    def _require_owner(self) -> None:
+        if not self._owner:
+            raise ShmError("only the arena owner may allocate or free")
+        if self._closed:
+            raise ShmError("arena is closed")
+
+    def alloc(self, nbytes: int) -> Tuple[int, int]:
+        """Reserve a block of at least ``nbytes``; returns (index, generation)."""
+        self._require_owner()
+        want = max(_ALIGN, (max(1, nbytes) + _ALIGN - 1) // _ALIGN * _ALIGN)
+        with self._lock:
+            if not self._free_indices:
+                raise ShmAllocationError(
+                    f"arena {self.name!r}: all {self._max_blocks} block "
+                    "table entries are live"
+                )
+            for i, (offset, size) in enumerate(self._free_spans):
+                if size >= want:
+                    break
+            else:
+                raise ShmAllocationError(
+                    f"arena {self.name!r}: no free span of {want} bytes "
+                    f"({self._capacity} total)"
+                )
+            if size == want:
+                self._free_spans.pop(i)
+            else:
+                self._free_spans[i] = (offset + want, size - want)
+            index = self._free_indices.pop()
+            generation = self._next_generation
+            self._next_generation += 1
+            self._table[index] = (offset, want, generation, 1)
+            return index, generation
+
+    def _validated_entry(self, index: int, generation: int) -> Tuple[int, int]:
+        if self._closed:
+            raise ShmError("arena is closed")
+        if not 0 <= index < self._max_blocks:
+            raise ShmStaleBlockError(
+                f"arena {self.name!r}: block index {index} out of range"
+            )
+        entry = self._table[index]
+        if int(entry[_GENERATION]) != generation or int(entry[_REFCOUNT]) == 0:
+            raise ShmStaleBlockError(
+                f"arena {self.name!r}: block {index} generation "
+                f"{int(entry[_GENERATION])} (refcount {int(entry[_REFCOUNT])}) "
+                f"does not match ref generation {generation} — stale or "
+                "corrupted block"
+            )
+        return int(entry[_OFFSET]), int(entry[_SIZE])
+
+    def incref(self, index: int, generation: int) -> None:
+        self._require_owner()
+        with self._lock:
+            self._validated_entry(index, generation)
+            self._table[index, _REFCOUNT] += 1
+
+    def decref(self, index: int, generation: int) -> None:
+        """Drop one reference; the last one frees the block."""
+        self._require_owner()
+        with self._lock:
+            self._validated_entry(index, generation)
+            self._table[index, _REFCOUNT] -= 1
+            if int(self._table[index, _REFCOUNT]) > 0:
+                return
+            offset = int(self._table[index, _OFFSET])
+            size = int(self._table[index, _SIZE])
+            self._table[index] = 0
+            self._free_indices.append(index)
+            self._release_span(offset, size)
+
+    def _release_span(self, offset: int, size: int) -> None:
+        """Insert a span back into the free list, coalescing neighbours."""
+        spans = self._free_spans
+        lo, hi = 0, len(spans)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if spans[mid][0] < offset:
+                lo = mid + 1
+            else:
+                hi = mid
+        spans.insert(lo, (offset, size))
+        # Coalesce with the span after, then the one before.
+        if lo + 1 < len(spans) and offset + size == spans[lo + 1][0]:
+            spans[lo] = (offset, size + spans[lo + 1][1])
+            spans.pop(lo + 1)
+        if lo > 0 and spans[lo - 1][0] + spans[lo - 1][1] == offset:
+            merged = (spans[lo - 1][0], spans[lo - 1][1] + spans[lo][1])
+            spans[lo - 1] = merged
+            spans.pop(lo)
+
+    # ------------------------------------------------------------------
+    # Array transport
+    # ------------------------------------------------------------------
+    def put_array(self, array: np.ndarray) -> ShmArrayRef:
+        """Copy ``array`` into a fresh block; returns its pickled-safe ref."""
+        # Header first: ``ascontiguousarray`` promotes 0-d arrays to 1-d,
+        # which would silently change the round-tripped shape.
+        header = ndarray_header(np.asarray(array))
+        array = np.ascontiguousarray(array)
+        index, generation = self.alloc(header.nbytes)
+        offset = int(self._table[index, _OFFSET])
+        if header.nbytes:
+            dst = self._segment.buf[
+                self._data_start + offset : self._data_start + offset + header.nbytes
+            ]
+            dst[:] = array.view(np.uint8).reshape(-1).data
+        return ShmArrayRef(
+            arena=self.name, index=index, generation=generation, header=header
+        )
+
+    def read_array(self, ref: ShmArrayRef, *, copy: bool = True) -> np.ndarray:
+        """Materialize the array a ref points at.
+
+        The generation tag is validated before *and after* the bytes are
+        read, so a block freed (or corrupted) mid-read raises
+        :class:`ShmStaleBlockError` rather than returning torn data.
+        With ``copy=False`` the result is a read-only zero-copy view whose
+        lifetime is bounded by the block's refcount — retainers must copy.
+        """
+        offset, size = self._validated_entry(ref.index, ref.generation)
+        if ref.header.nbytes > size:
+            raise ShmStaleBlockError(
+                f"arena {self.name!r}: block {ref.index} holds {size} bytes, "
+                f"ref header wants {ref.header.nbytes}"
+            )
+        view = self._segment.buf[
+            self._data_start + offset : self._data_start + offset + ref.header.nbytes
+        ]
+        array = ndarray_from_buffer(view, ref.header, copy=copy)
+        self._validated_entry(ref.index, ref.generation)
+        return array
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def live_blocks(self) -> List[Dict[str, int]]:
+        """Every block with a nonzero refcount (the leak report)."""
+        if self._closed:
+            return []
+        out = []
+        for index in range(self._max_blocks):
+            refcount = int(self._table[index, _REFCOUNT])
+            if refcount:
+                out.append(
+                    {
+                        "index": index,
+                        "generation": int(self._table[index, _GENERATION]),
+                        "size": int(self._table[index, _SIZE]),
+                        "refcount": refcount,
+                    }
+                )
+        return out
+
+    def leak_report(self) -> List[Dict[str, int]]:
+        return self.live_blocks()
+
+    def assert_no_leaks(self) -> None:
+        leaked = self.live_blocks()
+        if leaked:
+            raise ShmLeakError(
+                f"arena {self.name!r} leaked {len(leaked)} block(s): {leaked}"
+            )
+
+    def free_bytes(self) -> int:
+        if not self._owner:
+            raise ShmError("free-space accounting lives with the owner")
+        with self._lock:
+            return sum(size for _, size in self._free_spans)
+
+    # Test helper: deliberately invalidate a block's generation tag, the
+    # chaos suite's model of metadata corruption in shared memory.
+    def corrupt_generation(self, index: int) -> None:
+        self._table[index, _GENERATION] = np.uint64(
+            int(self._table[index, _GENERATION]) ^ 0xDEAD
+        )

@@ -1,0 +1,176 @@
+"""Wire protocol of the process-backed replica: control messages + shm refs.
+
+Everything crossing the process boundary is one of the small picklable
+message dataclasses below, sent over ``multiprocessing`` pipes.  The
+*payloads* (request/response dataclasses of :mod:`repro.service.messages`)
+ride inside them — but before a payload is pickled, its top-level ndarray
+fields above :data:`MIN_SHM_BYTES` are swapped for
+:class:`~repro.cluster.shm.ShmArrayRef` stand-ins by :func:`encode_payload`,
+with the bytes travelling through the :class:`~repro.cluster.shm.ShmArena`
+instead of the pipe.  :func:`decode_payload` reverses the swap on the
+receiving side.
+
+An array that cannot be offloaded (arena full, exotic dtype) stays inline
+in the pickle — a *fallback*, never a failure; callers can count these
+via the ``fallbacks`` out-parameter to watch transport efficiency.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import pickle
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from ..faults import TransientServiceError
+from .shm import ShmAllocationError, ShmArena, ShmArrayRef
+
+#: Arrays smaller than this are cheaper to pickle inline than to round
+#: through the arena (allocator bookkeeping + a table entry each).
+MIN_SHM_BYTES = 256
+
+
+@dataclass
+class CallMsg:
+    """One endpoint invocation, parent → child."""
+
+    seq: int
+    endpoint: str
+    payload: Any
+
+
+@dataclass
+class ResultMsg:
+    """The answer to one :class:`CallMsg`, child → parent."""
+
+    seq: int
+    ok: bool
+    payload: Any = None
+    error: Optional[BaseException] = None
+
+
+@dataclass
+class ReleaseMsg:
+    """Parent → child: the parent consumed the response of ``seq``; the
+    child (which owns the response arena) may free its blocks."""
+
+    seq: int
+
+
+@dataclass
+class StopMsg:
+    """Parent → child: drain releases queued ahead of this, leak-check,
+    answer with a :class:`ByeMsg`, exit 0."""
+
+
+@dataclass
+class ByeMsg:
+    """Child → parent: clean-shutdown acknowledgement, leak report and
+    the child's final metrics snapshot (its last chance to ship one)."""
+
+    leaked_blocks: int
+    leak_report: List[dict]
+    metrics: Any = None
+
+
+@dataclass
+class CtrlMsg:
+    """One control-plane operation, parent → child (answered in order)."""
+
+    ctrl_id: int
+    op: str
+    args: Tuple = ()
+
+
+@dataclass
+class CtrlReply:
+    ctrl_id: int
+    ok: bool
+    value: Any = None
+    error: Optional[BaseException] = None
+
+
+def safe_exception(error: BaseException) -> BaseException:
+    """An exception guaranteed to survive pickling.
+
+    Most exceptions round-trip fine; one that does not (a closure in its
+    state, a broken ``__reduce__``) is replaced by a typed transient
+    error carrying its repr, so the parent still fails the call loudly
+    instead of the pipe dying mid-message.
+    """
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:
+        return TransientServiceError(
+            f"unpicklable {type(error).__name__} crossing the replica "
+            f"boundary: {error!r}"
+        )
+
+
+def encode_payload(
+    obj: Any,
+    arena: Optional[ShmArena],
+    *,
+    min_bytes: int = MIN_SHM_BYTES,
+    fallbacks: Optional[List[str]] = None,
+) -> Tuple[Any, List[ShmArrayRef]]:
+    """Swap large ndarray fields of a dataclass for arena refs.
+
+    Returns ``(encoded, refs)``; ``refs`` are the blocks the *caller* is
+    responsible for releasing once the peer has consumed the message.
+    The original object is never mutated — a shallow clone carries the
+    refs, so request dataclasses stay usable after submission (retries
+    re-encode from the pristine original).
+    """
+    refs: List[ShmArrayRef] = []
+    if arena is None or not dataclasses.is_dataclass(obj) or isinstance(obj, type):
+        return obj, refs
+    replaced = {}
+    for field in dataclasses.fields(obj):
+        value = getattr(obj, field.name, None)
+        if not isinstance(value, np.ndarray) or value.nbytes < min_bytes:
+            continue
+        try:
+            ref = arena.put_array(value)
+        except (ShmAllocationError, ValueError):
+            if fallbacks is not None:
+                fallbacks.append(field.name)
+            continue
+        replaced[field.name] = ref
+        refs.append(ref)
+    if not replaced:
+        return obj, refs
+    clone = copy.copy(obj)
+    for name, ref in replaced.items():
+        # Bypass __init__/__post_init__: validation already ran on the
+        # original, and it would reject the ref stand-ins.
+        object.__setattr__(clone, name, ref)
+    return clone, refs
+
+
+def decode_payload(obj: Any, arena: Optional[ShmArena], *, copy_arrays: bool = True) -> Any:
+    """Materialize every :class:`ShmArrayRef` field back into an ndarray.
+
+    ``copy_arrays=True`` (the default) copies bytes out of the arena so
+    the result's lifetime is decoupled from the block's — required
+    whenever the decoded object may outlive the call (requests retained
+    in a registry, responses returned to callers).  Raises
+    :class:`~repro.cluster.shm.ShmStaleBlockError` on a stale/corrupt ref.
+    """
+    if arena is None or not dataclasses.is_dataclass(obj) or isinstance(obj, type):
+        return obj
+    replaced = {}
+    for field in dataclasses.fields(obj):
+        value = getattr(obj, field.name, None)
+        if isinstance(value, ShmArrayRef):
+            replaced[field.name] = arena.read_array(value, copy=copy_arrays)
+    if not replaced:
+        return obj
+    clone = copy.copy(obj)
+    for name, array in replaced.items():
+        object.__setattr__(clone, name, array)
+    return clone

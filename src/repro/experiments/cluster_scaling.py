@@ -6,9 +6,14 @@ Two questions, answered with the in-process cluster tier
 **Does the router scale serving out?**  The same closed-loop classify
 workload is driven against clusters of 1, 2 and 4 replicas.  Each
 replica models a backend with ``synthetic_work_s`` of device-independent
-service time (a sleep, so replica worker threads overlap even on one
-core) plus the real model's forward pass; with the model fully
-replicated, throughput should grow near-linearly with N.
+service time plus the real model's forward pass; with the model fully
+replicated, throughput should grow near-linearly with N.  The service
+time is either a ``sleep`` (I/O-ish; thread replicas overlap it even on
+one core) or a ``spin`` (compute-bound, GIL-holding; only the
+``process`` backend's real OS processes overlap it — the multi-core
+claim this experiment gates, with the thread backend as the recorded
+baseline and the bar scaled to the cores actually present via
+:func:`required_speedup`).
 
 **Does failover preserve utility?**  One episode at the largest N is run
 twice — untouched, and with one replica killed mid-episode.  The router
@@ -23,6 +28,7 @@ on any of them.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -30,7 +36,14 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..cluster import RouterConfig, make_cluster
+from ..cluster import (
+    PROCESS_BACKEND,
+    THREAD_BACKEND,
+    WORK_SLEEP,
+    WORK_SPIN,
+    RouterConfig,
+    make_cluster,
+)
 from ..datasets import SyntheticImageConfig, make_image_dataset
 from ..nn.resnet import StagedResNet, StagedResNetConfig
 from ..nn.training import collect_stage_outputs
@@ -43,12 +56,20 @@ class ClusterScalingConfig:
     replica_counts: Tuple[int, ...] = (1, 2, 4)
     num_requests: int = 96
     num_clients: int = 8
-    #: per-call service time each replica sleeps; the scaling signal.
+    #: per-call service time each replica burns; the scaling signal.
     synthetic_work_s: float = 0.004
     batch_per_request: int = 2
     seed: int = 0
     min_speedup_at_max: float = 2.5
     min_utility_ratio: float = 0.8
+    #: ``thread`` (PR-5 in-process replicas) or ``process`` (one
+    #: multiprocessing child per replica, shm tensor transport).
+    backend: str = THREAD_BACKEND
+    #: ``sleep`` models an I/O-ish backend (threads overlap it);
+    #: ``spin`` holds the GIL — compute-bound load that only the
+    #: process backend can overlap across cores.
+    work_kind: str = WORK_SLEEP
+    start_method: Optional[str] = None
     model_config: StagedResNetConfig = field(
         default_factory=lambda: StagedResNetConfig(
             num_classes=3,
@@ -58,6 +79,29 @@ class ClusterScalingConfig:
             seed=0,
         )
     )
+
+
+def required_speedup(config: ClusterScalingConfig) -> float:
+    """The speedup bar this host can honestly be held to.
+
+    ``sleep`` work overlaps regardless of cores, so the configured bar
+    applies as-is.  ``spin`` work is compute: the process backend can
+    only scale with *physical cores actually present* (the CI gate runs
+    the full ``min_speedup_at_max`` on multi-core runners; a 1-core dev
+    box is capped at no-worse-than-transport-overhead), and the thread
+    backend cannot scale it at all — it is the recorded baseline, gated
+    only on zero lost requests.
+    """
+    n_max = max(config.replica_counts)
+    if config.work_kind == WORK_SPIN:
+        if config.backend == PROCESS_BACKEND:
+            cores = os.cpu_count() or 1
+            return min(
+                config.min_speedup_at_max,
+                max(0.75, 0.75 * min(cores, n_max)),
+            )
+        return 0.0
+    return config.min_speedup_at_max
 
 
 def _build_model(config: ClusterScalingConfig):
@@ -150,16 +194,20 @@ def run_cluster_scaling(
         router_config = RouterConfig(replication_factor=n)
         with make_cluster(
             n,
+            backend=config.backend,
             seed=config.seed,
             synthetic_work_s=config.synthetic_work_s,
+            work_kind=config.work_kind,
             config=router_config,
+            start_method=config.start_method,
         ) as router:
             gid = router.register_model(
                 "scaling", model, train_set=dataset, predictor=predictor
             )
             row = _drive(router, gid, inputs, config)
             row["replicas"] = n
-            scaling.append(row)
+        row["shm_leaked_blocks"] = _shm_leaked_blocks(router)
+        scaling.append(row)
     base_rps = scaling[0]["throughput_rps"]
     for row in scaling:
         row["speedup"] = row["throughput_rps"] / base_rps if base_rps else 0.0
@@ -170,9 +218,12 @@ def run_cluster_scaling(
     for label, kill_after in (("no-kill", None), ("kill", None)):
         with make_cluster(
             n_max,
+            backend=config.backend,
             seed=config.seed,
             synthetic_work_s=config.synthetic_work_s,
+            work_kind=config.work_kind,
             config=RouterConfig(replication_factor=n_max),
+            start_method=config.start_method,
         ) as router:
             gid = router.register_model(
                 "failover", model, train_set=dataset, predictor=predictor
@@ -186,7 +237,10 @@ def run_cluster_scaling(
             row["failovers"] = router.metrics.counter(
                 "router.failovers"
             ).value
-            episodes[label] = row
+        # Leak accounting runs post-shutdown: the kill episode checks
+        # that even a SIGKILL'd child left nothing behind.
+        row["shm_leaked_blocks"] = _shm_leaked_blocks(router)
+        episodes[label] = row
 
     utility_ratio = (
         episodes["kill"]["utility"] / episodes["no-kill"]["utility"]
@@ -201,6 +255,10 @@ def run_cluster_scaling(
             "synthetic_work_s": config.synthetic_work_s,
             "min_speedup_at_max": config.min_speedup_at_max,
             "min_utility_ratio": config.min_utility_ratio,
+            "backend": config.backend,
+            "work_kind": config.work_kind,
+            "cpu_count": os.cpu_count() or 1,
+            "required_speedup": required_speedup(config),
         },
         "scaling": scaling,
         "failover": {
@@ -210,28 +268,57 @@ def run_cluster_scaling(
     }
 
 
+def _shm_leaked_blocks(router) -> int:
+    """Total leaked shm blocks across replicas after shutdown (thread
+    replicas have no arenas and count zero)."""
+    leaked = 0
+    for replica in router.replicas.values():
+        report = getattr(replica, "shm_leak_report", None)
+        if report is None:
+            continue
+        state = report()
+        leaked += len(state.get("req_leaked", ()))
+        if state.get("state") == "stopped":
+            leaked += len(state.get("res_unreleased", ()))
+        if state.get("segments_linked") and state.get("state") != "running":
+            leaked += 1
+    return leaked
+
+
 def check_cluster_scaling(results: Dict[str, object]) -> List[str]:
     """The acceptance bars, as failure strings (empty = pass)."""
     failures: List[str] = []
     config = results["config"]
     scaling = results["scaling"]
     top = scaling[-1]
-    if top["speedup"] < config["min_speedup_at_max"]:
+    required = config.get("required_speedup", config["min_speedup_at_max"])
+    if required > 0 and top["speedup"] < required:
         failures.append(
             f"throughput at N={top['replicas']} is only "
             f"{top['speedup']:.2f}x N=1 "
-            f"(need >= {config['min_speedup_at_max']:g}x)"
+            f"(need >= {required:g}x on this "
+            f"{config.get('cpu_count', '?')}-core host)"
         )
     for row in scaling:
         if row["lost"]:
             failures.append(
                 f"{row['lost']} request(s) lost at N={row['replicas']}"
             )
+        if row.get("shm_leaked_blocks"):
+            failures.append(
+                f"{row['shm_leaked_blocks']} shm block(s) leaked at "
+                f"N={row['replicas']}"
+            )
     failover = results["failover"]
     kill = failover["episodes"]["kill"]
     if kill["lost"]:
         failures.append(
             f"{kill['lost']} request(s) lost in the kill episode"
+        )
+    if kill.get("shm_leaked_blocks"):
+        failures.append(
+            f"{kill['shm_leaked_blocks']} shm block(s) leaked after the "
+            "replica kill"
         )
     if failover["utility_ratio"] < config["min_utility_ratio"]:
         failures.append(
@@ -245,9 +332,15 @@ def check_cluster_scaling(results: Dict[str, object]) -> List[str]:
 
 
 def format_cluster_scaling(results: Dict[str, object]) -> str:
+    config = results["config"]
     lines = [
+        f"backend={config.get('backend', 'thread')} "
+        f"work={config.get('work_kind', 'sleep')} "
+        f"({config.get('synthetic_work_s', 0) * 1e3:g} ms/call) "
+        f"cores={config.get('cpu_count', '?')} "
+        f"required_speedup={config.get('required_speedup', config['min_speedup_at_max']):g}x",
         f"{'replicas':>8} {'served':>7} {'lost':>5} "
-        f"{'wall s':>8} {'req/s':>8} {'speedup':>8}"
+        f"{'wall s':>8} {'req/s':>8} {'speedup':>8}",
     ]
     for row in results["scaling"]:
         lines.append(

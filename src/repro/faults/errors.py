@@ -56,6 +56,15 @@ class BackpressureError(RuntimeError):
         self.reason = reason
         self.endpoint = endpoint
 
+    def __reduce__(self):
+        # Default exception pickling only replays ``args`` (the message),
+        # silently resetting the typed fields; a rejection crossing the
+        # process-replica boundary must keep its retry_after_s.
+        return (
+            type(self),
+            (self.args[0], self.retry_after_s, self.reason, self.endpoint),
+        )
+
 
 class ResilienceError(RuntimeError):
     """Base class of errors raised when recovery budgets are exhausted."""
@@ -67,6 +76,13 @@ class RetriesExhaustedError(ResilienceError):
     def __init__(self, message: str, last_error: Exception) -> None:
         super().__init__(message)
         self.last_error = last_error
+
+    def __reduce__(self):
+        # ``args`` holds only the message while ``__init__`` demands two
+        # positionals — without this, unpickling (e.g. crossing the
+        # process-replica boundary) raises TypeError instead of
+        # reconstructing the error.
+        return (type(self), (self.args[0], self.last_error))
 
 
 class RequestTimeoutError(ResilienceError, TimeoutError):

@@ -4,19 +4,107 @@ The caching service pushes reduced models to edge devices (Sec. II-B); this
 module defines the artifact it ships: a single ``.npz`` holding the model's
 configuration and its full state dict (parameters *and* buffers).  The
 format is dependency-free and versioned.
+
+It also defines the **ndarray header** — the minimal self-describing
+metadata (dtype with explicit endianness, shape, byte count) needed to
+reconstruct an array from a raw byte buffer.  The shared-memory tensor
+transport of :mod:`repro.cluster.shm` ships this header in its pickled
+control messages while the array bytes travel through the shm arena, so
+a process on either side of the boundary can map the block back into a
+correctly typed view without trusting anything stored in shared memory
+itself.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Union
+from typing import Tuple, Union
 
 import numpy as np
 
 from .resnet import StagedResNet, StagedResNetConfig
 
 _FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class NdarrayHeader:
+    """Self-describing metadata of one contiguous ndarray payload.
+
+    ``dtype`` is the numpy *byte-order-explicit* dtype string (e.g.
+    ``"<f8"``), so a header written on one architecture reconstructs
+    identically on another; ``nbytes`` double-checks that the buffer the
+    header is applied to actually holds the array it claims to.
+    """
+
+    dtype: str
+    shape: Tuple[int, ...]
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        expected = int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+        if expected != self.nbytes:
+            raise ValueError(
+                f"inconsistent ndarray header: shape {self.shape} of dtype "
+                f"{self.dtype!r} needs {expected} bytes, header says {self.nbytes}"
+            )
+
+
+def ndarray_header(array: np.ndarray) -> NdarrayHeader:
+    """Header describing ``array`` (which must be dtype-simple).
+
+    Object/structured dtypes have no flat byte representation and are
+    rejected — callers fall back to pickling such payloads whole.
+    """
+    array = np.asarray(array)
+    if array.dtype.hasobject or array.dtype.names is not None:
+        raise ValueError(
+            f"dtype {array.dtype!r} has no raw-byte representation"
+        )
+    # `dtype.str` spells the byte order explicitly ('<f8', '>i4', '|u1');
+    # native-order shorthand ('=') would not survive a cross-arch hop.
+    return NdarrayHeader(
+        dtype=array.dtype.str,
+        shape=tuple(int(d) for d in array.shape),
+        nbytes=int(array.nbytes),
+    )
+
+
+def ndarray_to_bytes(array: np.ndarray, out: memoryview) -> NdarrayHeader:
+    """Write ``array``'s raw bytes into ``out`` and return its header."""
+    array = np.ascontiguousarray(array)
+    header = ndarray_header(array)
+    if len(out) < header.nbytes:
+        raise ValueError(
+            f"buffer of {len(out)} bytes cannot hold {header.nbytes}"
+        )
+    out[: header.nbytes] = array.view(np.uint8).reshape(-1).data
+    return header
+
+
+def ndarray_from_buffer(
+    buffer, header: NdarrayHeader, *, copy: bool = True
+) -> np.ndarray:
+    """Reconstruct the array a header describes from a raw byte buffer.
+
+    With ``copy=False`` the result is a **read-only view** into the
+    buffer — zero-copy, but its lifetime is the buffer's; consumers that
+    retain the array beyond the buffer's life must pass ``copy=True``.
+    """
+    view = memoryview(buffer)[: header.nbytes]
+    if len(view) != header.nbytes:
+        raise ValueError(
+            f"buffer holds {len(view)} bytes, header needs {header.nbytes}"
+        )
+    array = np.frombuffer(view, dtype=np.dtype(header.dtype)).reshape(header.shape)
+    if copy:
+        return array.copy()
+    array.flags.writeable = False
+    return array
 
 
 def save_staged_model(model: StagedResNet, path: Union[str, Path]) -> Path:

@@ -15,6 +15,20 @@ PAPERS.md) expose per request:
 Everything is dependency-free and thread-safe: worker threads in
 :class:`~repro.scheduler.runtime.StagedInferenceRuntime` observe stage
 latencies concurrently with the scheduler thread updating queue gauges.
+
+Two cluster-tier guarantees live here too:
+
+- **Read consistency.**  Every instrument a :class:`MetricsRegistry`
+  creates shares the registry's single lock, so :meth:`MetricsRegistry.
+  snapshot` and :meth:`MetricsRegistry.merge` capture *all* instruments
+  at one instant: a writer that increments counter A before counter B
+  can never be observed with B ahead of A.  Process-backed replicas ship
+  snapshots back asynchronously, which is exactly when a torn multi-
+  instrument read would otherwise go unnoticed.
+- **Picklability.**  Instruments and registries drop their locks on
+  pickle (capturing a consistent state) and grow fresh ones on unpickle,
+  so a child process can send its whole registry through a pipe and the
+  router can fold it into the cluster view with :meth:`merge`.
 """
 
 from __future__ import annotations
@@ -29,10 +43,10 @@ class Counter:
 
     __slots__ = ("name", "_value", "_lock")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, lock: Optional[threading.Lock] = None) -> None:
         self.name = name
         self._value = 0.0
-        self._lock = threading.Lock()
+        self._lock = lock if lock is not None else threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
@@ -45,16 +59,25 @@ class Counter:
         with self._lock:
             return self._value
 
+    def __getstate__(self):
+        with self._lock:
+            return {"name": self.name, "value": self._value}
+
+    def __setstate__(self, state) -> None:
+        self.name = state["name"]
+        self._value = state["value"]
+        self._lock = threading.Lock()
+
 
 class Gauge:
     """Last-written value (may move in either direction)."""
 
     __slots__ = ("name", "_value", "_lock")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, lock: Optional[threading.Lock] = None) -> None:
         self.name = name
         self._value = 0.0
-        self._lock = threading.Lock()
+        self._lock = lock if lock is not None else threading.Lock()
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -71,6 +94,57 @@ class Gauge:
     def value(self) -> float:
         with self._lock:
             return self._value
+
+    def __getstate__(self):
+        with self._lock:
+            return {"name": self.name, "value": self._value}
+
+    def __setstate__(self, state) -> None:
+        self.name = state["name"]
+        self._value = state["value"]
+        self._lock = threading.Lock()
+
+
+def _quantile_of_state(state: Dict[str, object], q: float) -> float:
+    """The quantile walk over a captured histogram state (lock-free)."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    count = state["count"]
+    if count == 0:
+        return math.nan
+    lo = state["lo"]
+    growth = state["growth"]
+    buckets: Dict[int, int] = state["buckets"]
+    rank = q * count
+    cumulative = float(state["underflow"])
+    if cumulative >= rank and state["underflow"]:
+        return min(lo, state["max"])
+    for index in sorted(buckets):
+        n = buckets[index]
+        if cumulative + n >= rank:
+            lower = lo * growth ** index
+            upper = lower * growth
+            fraction = (rank - cumulative) / n
+            estimate = lower + fraction * (upper - lower)
+            return max(state["min"], min(state["max"], estimate))
+        cumulative += n
+    return state["max"]
+
+
+def _summary_of_state(
+    state: Dict[str, object], ps: Tuple[float, ...] = (50.0, 95.0, 99.0)
+) -> Dict[str, float]:
+    count = state["count"]
+    out: Dict[str, float] = {
+        "count": float(count),
+        "sum": state["sum"],
+        "mean": state["sum"] / count if count else math.nan,
+        "min": state["min"] if count else math.nan,
+        "max": state["max"] if count else math.nan,
+    }
+    for p in ps:
+        out[f"p{p:g}"] = _quantile_of_state(state, p / 100.0)
+    return out
 
 
 class Histogram:
@@ -92,7 +166,13 @@ class Histogram:
         "_count", "_sum", "_min", "_max", "_lock",
     )
 
-    def __init__(self, name: str, lo: float = 1e-6, growth: float = 1.05) -> None:
+    def __init__(
+        self,
+        name: str,
+        lo: float = 1e-6,
+        growth: float = 1.05,
+        lock: Optional[threading.Lock] = None,
+    ) -> None:
         if lo <= 0:
             raise ValueError("lo must be positive")
         if growth <= 1.0:
@@ -107,7 +187,7 @@ class Histogram:
         self._sum = 0.0
         self._min = math.inf
         self._max = -math.inf
-        self._lock = threading.Lock()
+        self._lock = lock if lock is not None else threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -123,6 +203,42 @@ class Histogram:
                 return
             index = int(math.log(value / self._lo) / self._log_growth)
             self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def _state_locked(self) -> Dict[str, object]:
+        """Raw state capture; the caller must hold ``self._lock``."""
+        return {
+            "lo": self._lo,
+            "growth": self._growth,
+            "buckets": dict(self._buckets),
+            "underflow": self._underflow,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+        }
+
+    def _state(self) -> Dict[str, object]:
+        with self._lock:
+            return self._state_locked()
+
+    def _apply_state(self, state: Dict[str, object]) -> None:
+        """Fold a captured state into this sketch (the merge primitive)."""
+        if state["lo"] != self._lo or state["growth"] != self._growth:
+            raise ValueError(
+                "histograms with different bucket layouts cannot be merged "
+                f"(lo {self._lo:g}/{state['lo']:g}, "
+                f"growth {self._growth:g}/{state['growth']:g})"
+            )
+        with self._lock:
+            for index, n in state["buckets"].items():
+                self._buckets[index] = self._buckets.get(index, 0) + n
+            self._underflow += state["underflow"]
+            self._count += state["count"]
+            self._sum += state["sum"]
+            if state["min"] < self._min:
+                self._min = state["min"]
+            if state["max"] > self._max:
+                self._max = state["max"]
 
     @property
     def count(self) -> int:
@@ -158,25 +274,7 @@ class Histogram:
         An empty histogram has no quantiles: the documented sentinel is
         ``nan`` (never a fabricated 0.0, which reads as a real latency).
         """
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("quantile must be in [0, 1]")
-        with self._lock:
-            if self._count == 0:
-                return math.nan
-            rank = q * self._count
-            cumulative = float(self._underflow)
-            if cumulative >= rank and self._underflow:
-                return min(self._lo, self._max)
-            for index in sorted(self._buckets):
-                n = self._buckets[index]
-                if cumulative + n >= rank:
-                    lower = self._lo * self._growth ** index
-                    upper = lower * self._growth
-                    fraction = (rank - cumulative) / n
-                    estimate = lower + fraction * (upper - lower)
-                    return max(self._min, min(self._max, estimate))
-                cumulative += n
-            return self._max
+        return _quantile_of_state(self._state(), q)
 
     def merge(self, other: "Histogram") -> "Histogram":
         """Fold ``other``'s observations into this histogram, in place.
@@ -191,35 +289,15 @@ class Histogram:
         """
         if not isinstance(other, Histogram):
             raise TypeError("can only merge another Histogram")
-        if other._lo != self._lo or other._growth != self._growth:
-            raise ValueError(
-                "histograms with different bucket layouts cannot be merged "
-                f"(lo {self._lo:g}/{other._lo:g}, "
-                f"growth {self._growth:g}/{other._growth:g})"
-            )
         # Snapshot under the source lock first, then apply under ours —
         # never hold both locks at once, so concurrent a.merge(b) /
         # b.merge(a) cannot deadlock.
-        with other._lock:
-            buckets = dict(other._buckets)
-            underflow = other._underflow
-            count = other._count
-            total = other._sum
-            lo_val, hi_val = other._min, other._max
-        with self._lock:
-            for index, n in buckets.items():
-                self._buckets[index] = self._buckets.get(index, 0) + n
-            self._underflow += underflow
-            self._count += count
-            self._sum += total
-            if lo_val < self._min:
-                self._min = lo_val
-            if hi_val > self._max:
-                self._max = hi_val
+        self._apply_state(other._state())
         return self
 
     def percentiles(self, ps: Tuple[float, ...] = (50.0, 95.0, 99.0)) -> Dict[str, float]:
-        return {f"p{p:g}": self.quantile(p / 100.0) for p in ps}
+        state = self._state()
+        return {f"p{p:g}": _quantile_of_state(state, p / 100.0) for p in ps}
 
     def summary(self) -> Dict[str, float]:
         """count/sum/mean/min/max plus the standard latency quantiles.
@@ -227,19 +305,37 @@ class Histogram:
         On an empty histogram every statistic except ``count``/``sum`` is
         the ``nan`` sentinel (see :meth:`quantile`).
         """
-        out: Dict[str, float] = {
-            "count": float(self.count),
-            "sum": self.sum,
-            "mean": self.mean,
-            "min": self.min,
-            "max": self.max,
-        }
-        out.update(self.percentiles())
-        return out
+        return _summary_of_state(self._state())
+
+    def __getstate__(self):
+        return {"name": self.name, "state": self._state()}
+
+    def __setstate__(self, payload) -> None:
+        state = payload["state"]
+        self.name = payload["name"]
+        self._lo = state["lo"]
+        self._growth = state["growth"]
+        self._log_growth = math.log(self._growth)
+        self._buckets = dict(state["buckets"])
+        self._underflow = state["underflow"]
+        self._count = state["count"]
+        self._sum = state["sum"]
+        self._min = state["min"]
+        self._max = state["max"]
+        self._lock = threading.Lock()
 
 
 class MetricsRegistry:
-    """Thread-safe get-or-create home of every named instrument."""
+    """Thread-safe get-or-create home of every named instrument.
+
+    All instruments created through a registry share its lock, which is
+    what makes :meth:`snapshot` and :meth:`merge` *read-consistent*: the
+    capture happens in one critical section, so no concurrently running
+    writer can be observed half-way through a multi-instrument update.
+    The per-operation cost is unchanged (one uncontended lock acquire,
+    same as the previous per-instrument locks — guarded by
+    ``make bench-telemetry``).
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -251,45 +347,77 @@ class MetricsRegistry:
         with self._lock:
             instrument = self._counters.get(name)
             if instrument is None:
-                instrument = self._counters[name] = Counter(name)
+                instrument = self._counters[name] = Counter(name, lock=self._lock)
             return instrument
 
     def gauge(self, name: str) -> Gauge:
         with self._lock:
             instrument = self._gauges.get(name)
             if instrument is None:
-                instrument = self._gauges[name] = Gauge(name)
+                instrument = self._gauges[name] = Gauge(name, lock=self._lock)
             return instrument
 
     def histogram(self, name: str, lo: float = 1e-6, growth: float = 1.05) -> Histogram:
         with self._lock:
             instrument = self._histograms.get(name)
             if instrument is None:
-                instrument = self._histograms[name] = Histogram(name, lo=lo, growth=growth)
+                instrument = self._histograms[name] = Histogram(
+                    name, lo=lo, growth=growth, lock=self._lock
+                )
             return instrument
 
     # -- read side -----------------------------------------------------
+    def _capture_locked(self) -> Dict[str, Dict]:
+        """Raw consistent capture; the caller must hold ``self._lock``.
+
+        Reads instrument internals directly — every registry-created
+        instrument shares this lock, so taking it once freezes all of
+        them simultaneously (no torn cross-instrument reads).
+        """
+        return {
+            "counters": {n: c._value for n, c in self._counters.items()},
+            "gauges": {n: g._value for n, g in self._gauges.items()},
+            "histograms": {
+                n: h._state_locked() for n, h in self._histograms.items()
+            },
+        }
+
+    def _capture(self) -> Dict[str, Dict]:
+        with self._lock:
+            return self._capture_locked()
+
     def counters(self) -> Dict[str, float]:
         with self._lock:
-            items = list(self._counters.items())
-        return {name: c.value for name, c in sorted(items)}
+            values = {n: c._value for n, c in self._counters.items()}
+        return dict(sorted(values.items()))
 
     def gauges(self) -> Dict[str, float]:
         with self._lock:
-            items = list(self._gauges.items())
-        return {name: g.value for name, g in sorted(items)}
+            values = {n: g._value for n, g in self._gauges.items()}
+        return dict(sorted(values.items()))
 
     def histograms(self) -> Dict[str, Dict[str, float]]:
         with self._lock:
-            items = list(self._histograms.items())
-        return {name: h.summary() for name, h in sorted(items)}
+            states = {n: h._state_locked() for n, h in self._histograms.items()}
+        return {n: _summary_of_state(s) for n, s in sorted(states.items())}
 
     def snapshot(self) -> Dict[str, Dict]:
-        """One nested dict of everything — the export formats build on this."""
+        """One nested dict of everything — the export formats build on this.
+
+        The capture is atomic across every instrument in the registry:
+        counters, gauges and histograms are all read in one critical
+        section, so invariants a writer maintains across instruments
+        (e.g. "``served`` never exceeds ``admitted``") hold in every
+        snapshot even while writers race the reader.
+        """
+        capture = self._capture()
         return {
-            "counters": self.counters(),
-            "gauges": self.gauges(),
-            "histograms": self.histograms(),
+            "counters": dict(sorted(capture["counters"].items())),
+            "gauges": dict(sorted(capture["gauges"].items())),
+            "histograms": {
+                n: _summary_of_state(s)
+                for n, s in sorted(capture["histograms"].items())
+            },
         }
 
     def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
@@ -304,20 +432,24 @@ class MetricsRegistry:
           cluster-wide p50/p95/p99 stay within the sketch's error bound).
 
         Instruments present only in ``other`` are created here first, with
-        the same name (and, for histograms, the same bucket layout).
+        the same name (and, for histograms, the same bucket layout).  The
+        source registry is captured in one critical section, so the merge
+        folds a *consistent* instant of the source even while its writers
+        keep racing — the property process-backed replicas rely on when
+        their snapshots arrive asynchronously.
         """
-        with other._lock:
-            counters = list(other._counters.items())
-            gauges = list(other._gauges.items())
-            histograms = list(other._histograms.items())
-        for name, counter in counters:
-            self.counter(name).inc(counter.value)
-        for name, gauge in gauges:
-            self.gauge(name).inc(gauge.value)
-        for name, histogram in histograms:
+        capture = other._capture()
+        return self._merge_capture(capture)
+
+    def _merge_capture(self, capture: Dict[str, Dict]) -> "MetricsRegistry":
+        for name, value in capture["counters"].items():
+            self.counter(name).inc(value)
+        for name, value in capture["gauges"].items():
+            self.gauge(name).inc(value)
+        for name, state in capture["histograms"].items():
             self.histogram(
-                name, lo=histogram._lo, growth=histogram._growth
-            ).merge(histogram)
+                name, lo=state["lo"], growth=state["growth"]
+            )._apply_state(state)
         return self
 
     def reset(self) -> None:
@@ -325,3 +457,13 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+
+    def __getstate__(self):
+        return self._capture()
+
+    def __setstate__(self, capture) -> None:
+        self._lock = threading.Lock()
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+        self._merge_capture(capture)

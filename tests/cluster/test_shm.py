@@ -1,0 +1,200 @@
+"""The shared-memory arena allocator: the safety net under zero-copy.
+
+Everything the process transport assumes of :class:`ShmArena` is pinned
+here in-process (no children — the cross-process behaviour rides on OS
+shared memory, identical through a second attached handle):
+
+- arrays round-trip bit-exact, by copy and as read-only views;
+- refcounts keep blocks alive exactly as long as someone holds them,
+  and the free-list coalesces so the arena doesn't fragment to death;
+- generation tags catch use-after-free and corrupted metadata *loudly*
+  (typed, retryable) instead of serving torn bytes;
+- ownership is enforced: readers can't allocate, only the creator may
+  unlink, and ``adopt`` hands the allocator role to a child cleanly;
+- leak accounting reports exactly the blocks still live.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ShmAllocationError,
+    ShmArena,
+    ShmError,
+    ShmLeakError,
+    ShmStaleBlockError,
+)
+from repro.faults import TransientServiceError
+
+rng = np.random.default_rng(3)
+
+
+@pytest.fixture
+def arena():
+    a = ShmArena.create(1 << 16, max_blocks=8)
+    yield a
+    a.destroy()
+
+
+class TestRoundTrip:
+    def test_arrays_round_trip_bit_exact(self, arena):
+        for array in (
+            rng.normal(size=(4, 3, 8, 8)),
+            rng.integers(0, 255, size=(16, 16), dtype=np.uint8),
+            np.array([], dtype=np.float32),
+            np.float64(3.25).reshape(()),  # zero-dim
+        ):
+            ref = arena.put_array(array)
+            out = arena.read_array(ref)
+            assert out.dtype == array.dtype and out.shape == array.shape
+            assert np.array_equal(out, array)
+            arena.decref(ref.index, ref.generation)
+
+    def test_copy_false_returns_a_readonly_view(self, arena):
+        ref = arena.put_array(np.arange(64, dtype=np.float64))
+        view = arena.read_array(ref, copy=False)
+        assert not view.flags.writeable
+        copied = arena.read_array(ref)  # default copies
+        assert copied.flags.writeable
+        arena.decref(ref.index, ref.generation)
+
+    def test_a_second_attached_handle_reads_the_same_block(self, arena):
+        array = rng.normal(size=(8, 8))
+        ref = arena.put_array(array)
+        reader = ShmArena.attach(arena.name, max_blocks=8)
+        try:
+            assert np.array_equal(reader.read_array(ref), array)
+        finally:
+            reader.close()
+        arena.decref(ref.index, ref.generation)
+
+    def test_put_copies_the_array_not_aliases_it(self, arena):
+        array = np.ones(32)
+        ref = arena.put_array(array)
+        array[:] = -1.0  # caller mutates after send, as retries may
+        assert np.all(arena.read_array(ref) == 1.0)
+        arena.decref(ref.index, ref.generation)
+
+
+class TestRefcounts:
+    def test_last_decref_frees_and_makes_refs_stale(self, arena):
+        ref = arena.put_array(np.zeros(32))
+        arena.incref(ref.index, ref.generation)
+        arena.decref(ref.index, ref.generation)
+        arena.read_array(ref)  # still one holder
+        arena.decref(ref.index, ref.generation)
+        with pytest.raises(ShmStaleBlockError):
+            arena.read_array(ref)
+
+    def test_freed_space_is_reused_and_coalesced(self, arena):
+        capacity = arena.free_bytes()
+        refs = [arena.put_array(np.zeros(1024)) for _ in range(4)]
+        assert arena.free_bytes() < capacity
+        for ref in refs:  # free in allocation order: adjacent spans merge
+            arena.decref(ref.index, ref.generation)
+        assert arena.free_bytes() == capacity
+        # One allocation nearly the whole arena only fits if spans merged.
+        big = arena.put_array(np.zeros(capacity - 4096, dtype=np.uint8))
+        arena.decref(big.index, big.generation)
+
+    def test_generation_tags_are_never_reused(self, arena):
+        first = arena.put_array(np.zeros(32))
+        arena.decref(first.index, first.generation)
+        second = arena.put_array(np.zeros(32))
+        assert second.generation != first.generation
+        with pytest.raises(ShmStaleBlockError):
+            arena.read_array(first)  # old ref to the recycled block
+        arena.decref(second.index, second.generation)
+
+
+class TestAllocationFailure:
+    def test_oversized_payload_is_a_soft_typed_failure(self, arena):
+        with pytest.raises(ShmAllocationError):
+            arena.put_array(np.zeros(arena.capacity_bytes + 1, dtype=np.uint8))
+        arena.assert_no_leaks()  # the failed alloc left nothing behind
+
+    def test_table_exhaustion_is_a_soft_typed_failure(self):
+        a = ShmArena.create(1 << 16, max_blocks=2)
+        try:
+            refs = [a.put_array(np.zeros(16)) for _ in range(2)]
+            with pytest.raises(ShmAllocationError):
+                a.put_array(np.zeros(16))
+            for ref in refs:
+                a.decref(ref.index, ref.generation)
+            a.put_array(np.zeros(16))  # entries recycled
+        finally:
+            a.destroy()
+
+
+class TestCorruption:
+    def test_corrupted_generation_raises_a_retryable_error(self, arena):
+        ref = arena.put_array(np.zeros(64))
+        arena.corrupt_generation(ref.index)
+        with pytest.raises(ShmStaleBlockError) as info:
+            arena.read_array(ref)
+        # Routers must treat this as lost-in-transit, i.e. retryable.
+        assert isinstance(info.value, TransientServiceError)
+        # The XOR scribble is self-inverse: un-corrupt, then reclaim.
+        arena.corrupt_generation(ref.index)
+        arena.decref(ref.index, ref.generation)
+        arena.assert_no_leaks()
+
+
+class TestOwnership:
+    def test_readers_cannot_allocate_or_free(self, arena):
+        reader = ShmArena.attach(arena.name, max_blocks=8)
+        try:
+            with pytest.raises(ShmError):
+                reader.put_array(np.zeros(16))
+            ref = arena.put_array(np.zeros(16))
+            with pytest.raises(ShmError):
+                reader.decref(ref.index, ref.generation)
+            arena.decref(ref.index, ref.generation)
+        finally:
+            reader.close()
+
+    def test_only_the_creator_may_destroy(self, arena):
+        reader = ShmArena.attach(arena.name, max_blocks=8)
+        try:
+            with pytest.raises(ShmError):
+                reader.destroy()
+        finally:
+            reader.close()
+
+    def test_adopt_takes_the_allocator_role_from_a_nonowner_creator(self):
+        # The child→parent protocol: parent creates (and keeps unlink
+        # rights), child adopts and becomes the single writer.
+        parent_side = ShmArena.create(1 << 16, max_blocks=8, owner=False)
+        try:
+            with pytest.raises(ShmError):
+                parent_side.put_array(np.zeros(16))
+            child_side = ShmArena.adopt(parent_side.name, max_blocks=8)
+            ref = child_side.put_array(np.arange(16, dtype=np.float64))
+            # The non-owner creator still reads what the adopter wrote.
+            assert np.array_equal(
+                parent_side.read_array(ref), np.arange(16, dtype=np.float64)
+            )
+            child_side.decref(ref.index, ref.generation)
+            child_side.close()
+        finally:
+            parent_side.destroy()
+
+    def test_destroy_unlinks_the_os_segment(self):
+        a = ShmArena.create(1 << 12, max_blocks=2)
+        name = a.name
+        a.destroy()
+        with pytest.raises(FileNotFoundError):
+            ShmArena.attach(name, max_blocks=2)
+
+
+class TestLeakAccounting:
+    def test_leak_report_lists_exactly_the_live_blocks(self, arena):
+        assert arena.leak_report() == []
+        refs = [arena.put_array(np.zeros(32)) for _ in range(3)]
+        report = arena.leak_report()
+        assert {b["index"] for b in report} == {r.index for r in refs}
+        with pytest.raises(ShmLeakError):
+            arena.assert_no_leaks()
+        for ref in refs:
+            arena.decref(ref.index, ref.generation)
+        arena.assert_no_leaks()
