@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos overload overload-smoke cluster cluster-proc bench bench-fast bench-telemetry bench-admission bench-cluster examples experiments clean
+.PHONY: install test chaos overload overload-smoke cluster cluster-proc autoscale autoscale-smoke bench bench-fast bench-telemetry bench-admission bench-cluster examples experiments clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -29,6 +29,15 @@ cluster-proc:
 	$(PYTHON) -m pytest tests/cluster tests/faults/test_proc_chaos.py -q
 	$(PYTHON) -m repro.cli cluster --seed 0 --backend process \
 		--record bench_results/cluster_scaling_proc.txt
+
+autoscale:
+	$(PYTHON) -m pytest tests/cluster tests/faults/test_autoscale_chaos.py -q
+	$(PYTHON) -m repro.cli autoscale --seed 0 \
+		--record bench_results/autoscale.txt
+
+autoscale-smoke:
+	$(PYTHON) -m pytest tests/cluster/test_autoscaler.py tests/cluster/test_autoscaler_cluster.py -q
+	$(PYTHON) -m repro.cli autoscale --smoke --seed 0
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

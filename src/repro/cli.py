@@ -10,6 +10,7 @@ Usage::
     python -m repro.cli chaos [--json] [--seed N]
     python -m repro.cli overload [--json] [--smoke] [--seed N]
     python -m repro.cli cluster [--json] [--seed N] [--requests N]
+    python -m repro.cli autoscale [--json] [--smoke] [--seed N]
 
 The first run of the model-backed experiments trains the benchmark model
 (~4 minutes) and caches it under ``.bench_cache/``.
@@ -42,6 +43,14 @@ replicas, then a kill-one-replica failover episode at the largest
 cluster; exits non-zero unless N=4 throughput reaches 2.5x N=1 and the
 kill episode loses zero requests while keeping >= 80%% of the no-kill
 episode's utility.
+
+``autoscale`` runs the elastic-serving gate (docs/CLUSTER.md): the same
+seeded diurnal + flash-crowd trace against static-small, static-large
+and an autoscaled fleet; exits non-zero unless autoscaling reaches >=
+95%% of static-large goodput at <= 70%% of its replica-seconds, strictly
+beats static-small goodput, and loses zero requests — including a
+drain episode whose victim is SIGKILLed mid-drain.  ``--smoke`` shortens
+the trace and keeps the chaos episode on the thread backend for CI.
 """
 
 from __future__ import annotations
@@ -511,6 +520,80 @@ def _cluster_main(argv) -> int:
     return 1 if failures else 0
 
 
+def _autoscale_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro autoscale",
+        description=(
+            "Elastic-serving gate: autoscaled fleet vs static-small and "
+            "static-large on a seeded diurnal + flash-crowd trace "
+            "(see docs/CLUSTER.md)."
+        ),
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "shorter trace and thread-backend chaos/cold-start only, "
+            "for CI"
+        ),
+    )
+    parser.add_argument(
+        "--steps", type=int, default=None, help="override the trace length"
+    )
+    parser.add_argument(
+        "--max-replicas",
+        type=int,
+        default=None,
+        help="fleet ceiling (and static-large size)",
+    )
+    parser.add_argument(
+        "--record",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write the human-readable report to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    from .experiments.autoscale import (
+        AutoscaleExperimentConfig,
+        check_autoscale,
+        format_autoscale,
+        run_autoscale,
+    )
+
+    config = AutoscaleExperimentConfig(seed=args.seed, smoke=args.smoke)
+    if args.steps is not None:
+        config.steps = args.steps
+    if args.max_replicas is not None:
+        config.max_replicas = args.max_replicas
+    results = run_autoscale(config)
+    report = format_autoscale(results)
+    if args.json:
+        import json
+
+        print(json.dumps(results, indent=2))
+    else:
+        print(report)
+
+    failures = check_autoscale(results)
+    if args.record:
+        from pathlib import Path
+
+        record = Path(args.record)
+        record.parent.mkdir(parents=True, exist_ok=True)
+        lines = [report]
+        lines.extend(f"FAIL: {failure}" for failure in failures)
+        record.write_text("\n".join(lines) + "\n")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "table1": _table1,
     "fig2": _fig2,
@@ -535,6 +618,8 @@ def main(argv=None) -> int:
         return _overload_main(argv[1:])
     if argv and argv[0] == "cluster":
         return _cluster_main(argv[1:])
+    if argv and argv[0] == "autoscale":
+        return _autoscale_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",

@@ -36,6 +36,19 @@ idempotency keys) fronts a cluster unchanged::
 See ``docs/CLUSTER.md`` for the design notes and invariants.
 """
 
+from .autoscaler import (
+    ACTIONS,
+    HOLD,
+    SCALE_DOWN,
+    SCALE_UP,
+    Autoscaler,
+    AutoscalerConfig,
+    ControllerState,
+    Decision,
+    LoadSnapshot,
+    decide,
+)
+from .clock import Clock, MonotonicClock, VirtualClock, wait_until
 from .hashing import place, placement_score
 from .health import (
     DOWN,
@@ -69,6 +82,7 @@ from .router import (
     RouterConfig,
     ServiceRouter,
     make_cluster,
+    make_replica,
 )
 from .shm import (
     ShmAllocationError,
@@ -80,6 +94,20 @@ from .shm import (
 )
 
 __all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
+    "ControllerState",
+    "Decision",
+    "LoadSnapshot",
+    "decide",
+    "SCALE_UP",
+    "SCALE_DOWN",
+    "HOLD",
+    "ACTIONS",
+    "Clock",
+    "MonotonicClock",
+    "VirtualClock",
+    "wait_until",
     "place",
     "placement_score",
     "HealthConfig",
@@ -97,6 +125,7 @@ __all__ = [
     "RouterConfig",
     "NoHealthyReplicaError",
     "make_cluster",
+    "make_replica",
     "ROUND_ROBIN",
     "LEAST_OUTSTANDING",
     "UTILITY",

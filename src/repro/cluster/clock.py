@@ -1,0 +1,108 @@
+"""Injectable time for the cluster tier — the autoscaler's test harness.
+
+Every time-dependent decision in the autoscaler (cooldowns, hysteresis
+windows, cold-start measurement, idle-model TTLs) reads time through a
+:class:`Clock` instead of calling :mod:`time` directly.  Production code
+gets :class:`MonotonicClock`; tests get :class:`VirtualClock`, where time
+only moves when the test says so — every scaling decision becomes a pure
+function of (snapshot, config, virtual now) and the whole policy suite
+runs without a single real sleep.
+
+:class:`VirtualClock` is also a drop-in ``clock=`` callable for the
+pieces that already take one (:class:`~repro.faults.CircuitBreaker`,
+:class:`~repro.admission.TokenBucket`): calling the instance returns
+``now()``.
+
+:func:`wait_until` is the bounded-polling companion for conditions that
+*do* involve real concurrency (a child process dying, a watchdog
+respawning).  It polls through the clock, so under a virtual clock the
+"waiting" is deterministic time-stepping rather than wall-clock sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+
+class Clock:
+    """The minimal time surface the cluster tier depends on."""
+
+    def now(self) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __call__(self) -> float:
+        """Alias for :meth:`now`, so a clock slots into every API that
+        takes a bare ``clock: Callable[[], float]``."""
+        return self.now()
+
+
+class MonotonicClock(Clock):
+    """Real time: ``time.monotonic`` + ``time.sleep``."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class VirtualClock(Clock):
+    """Deterministic time under test control.
+
+    ``now()`` returns the virtual timestamp; :meth:`advance` moves it
+    forward.  :meth:`sleep` *advances* time instead of blocking, so code
+    written against the :class:`Clock` interface (bounded polls, retry
+    backoffs) terminates instantly and deterministically under test.
+    Thread-safe, and monotone by construction — :meth:`advance` rejects
+    negative steps.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds``; returns the new now."""
+        if seconds < 0:
+            raise ValueError("a clock cannot run backwards")
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self.advance(seconds)
+
+
+def wait_until(
+    predicate: Callable[[], bool],
+    timeout: float = 15.0,
+    interval: float = 0.05,
+    clock: Optional[Clock] = None,
+) -> bool:
+    """Poll ``predicate`` until true or ``timeout`` elapses on ``clock``.
+
+    The one sanctioned replacement for ad-hoc ``time.sleep`` loops in
+    tests: the wait is *bounded* (never a bare sleep whose duration was
+    tuned to a machine) and clock-injectable (a virtual clock makes the
+    poll a deterministic time-step loop).  Returns the predicate's final
+    value, so callers can ``assert wait_until(...)``.
+    """
+    clock = clock or MonotonicClock()
+    deadline = clock.now() + timeout
+    while clock.now() < deadline:
+        if predicate():
+            return True
+        clock.sleep(interval)
+    return predicate()

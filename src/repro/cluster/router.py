@@ -74,6 +74,7 @@ from ..service.messages import (
 from ..service.model_registry import ModelEntry
 from ..service.server import IdempotencyCache
 from ..telemetry.metrics import MetricsRegistry
+from .clock import Clock, MonotonicClock, wait_until
 from .hashing import place
 from .health import STATUS_RANK, HealthConfig, ReplicaHealth
 from .proc_replica import ProcessReplica
@@ -111,6 +112,10 @@ class RouterConfig:
     health: HealthConfig = field(default_factory=HealthConfig)
     breaker_failure_threshold: int = 5
     breaker_cooldown_s: float = 0.05
+    #: how long :meth:`ServiceRouter.drain_replica` waits for in-flight
+    #: work to finish before removing the replica anyway.
+    drain_timeout_s: float = 30.0
+    drain_poll_interval_s: float = 0.005
 
     def __post_init__(self) -> None:
         if self.replication_factor < 1:
@@ -121,6 +126,10 @@ class RouterConfig:
             )
         if self.call_timeout_s is not None and self.call_timeout_s <= 0:
             raise ValueError("call_timeout_s must be positive when given")
+        if self.drain_timeout_s <= 0:
+            raise ValueError("drain_timeout_s must be positive")
+        if self.drain_poll_interval_s <= 0:
+            raise ValueError("drain_poll_interval_s must be positive")
 
 
 class _RegistryView:
@@ -135,6 +144,10 @@ class _RegistryView:
         self._router = router
 
     def get(self, model_id: str) -> ModelEntry:
+        with self._router._lock:
+            parked = self._router._parked.get(model_id)
+        if parked is not None:
+            return parked
         for rid in self._router.holders(model_id):
             replica = self._router.replicas.get(rid)
             if (
@@ -150,11 +163,14 @@ class _RegistryView:
 
     def __contains__(self, model_id: str) -> bool:
         with self._router._lock:
-            return model_id in self._router._placement
+            return (
+                model_id in self._router._placement
+                or model_id in self._router._parked
+            )
 
     def __len__(self) -> int:
         with self._router._lock:
-            return len(self._router._placement)
+            return len(self._router._placement) + len(self._router._parked)
 
 
 class ServiceRouter:
@@ -165,6 +181,7 @@ class ServiceRouter:
         replicas: Sequence[ServiceReplica],
         config: Optional[RouterConfig] = None,
         admission: Optional[AdmissionController] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         if not replicas:
             raise ValueError("a router needs at least one replica")
@@ -173,6 +190,7 @@ class ServiceRouter:
             raise ValueError("replica ids must be unique")
         self.config = config or RouterConfig()
         self.admission = admission
+        self.clock = clock or MonotonicClock()
         self.replicas: Dict[str, ServiceReplica] = {
             r.replica_id: r for r in replicas
         }
@@ -180,11 +198,7 @@ class ServiceRouter:
             rid: ReplicaHealth(rid, self.config.health) for rid in ids
         }
         self._breakers: Dict[str, CircuitBreaker] = {
-            rid: CircuitBreaker(
-                failure_threshold=self.config.breaker_failure_threshold,
-                cooldown_s=self.config.breaker_cooldown_s,
-            )
-            for rid in ids
+            rid: self._make_breaker() for rid in ids
         }
         #: router-level telemetry (failovers, ejections, dedup hits, …).
         self.metrics = MetricsRegistry()
@@ -193,9 +207,26 @@ class ServiceRouter:
         self._children: Dict[str, Set[str]] = {}
         self._parent: Dict[str, str] = {}
         self._ejected: Set[str] = set()
+        self._draining: Set[str] = set()
+        #: metrics of replicas that have left the cluster, folded in
+        #: exactly once so ``cluster_snapshot`` totals stay monotone
+        #: across add → drain → re-add of the same replica id.
+        self._retired = MetricsRegistry()
+        self._retired_replicas: Set[int] = set()
+        #: scale-to-zero store: entries of parked (idle) models, restored
+        #: on the next request that names them.
+        self._parked: Dict[str, ModelEntry] = {}
+        self._last_served: Dict[str, float] = {}
         self._ids = itertools.count(1)
         self._rr = itertools.count()
         self._dedup = IdempotencyCache()
+
+    def _make_breaker(self) -> CircuitBreaker:
+        return CircuitBreaker(
+            failure_threshold=self.config.breaker_failure_threshold,
+            cooldown_s=self.config.breaker_cooldown_s,
+            clock=self.clock,
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -207,7 +238,7 @@ class ServiceRouter:
         self.shutdown()
 
     def shutdown(self) -> None:
-        for replica in self.replicas.values():
+        for replica in list(self.replicas.values()):
             replica.shutdown()
 
     # ------------------------------------------------------------------
@@ -219,7 +250,7 @@ class ServiceRouter:
 
     def model_ids(self) -> List[str]:
         with self._lock:
-            return sorted(self._placement)
+            return sorted(set(self._placement) | set(self._parked))
 
     def holders(self, model_id: str) -> List[str]:
         """Replicas currently holding ``model_id`` (primary first)."""
@@ -232,23 +263,53 @@ class ServiceRouter:
         with self._lock:
             return sorted(self._ejected)
 
+    def draining(self) -> List[str]:
+        with self._lock:
+            return sorted(self._draining)
+
+    def parked_ids(self) -> List[str]:
+        """Models currently scaled to zero (no live copy, entry retained)."""
+        with self._lock:
+            return sorted(self._parked)
+
+    def active_replica_ids(self) -> List[str]:
+        """Replicas that count as serving capacity: alive, not ejected.
+
+        Draining replicas are *included* — they still burn
+        replica-seconds and still serve their in-flight work — which is
+        exactly the accounting an autoscaler's cost metric wants.
+        """
+        with self._lock:
+            ejected = set(self._ejected)
+        return [
+            rid
+            for rid, replica in self.replicas.items()
+            if rid not in ejected and replica.alive
+        ]
+
     def status(self) -> Dict[str, object]:
         """One structured snapshot of the cluster's health and placement."""
         with self._lock:
             placement = {gid: list(h) for gid, h in self._placement.items()}
             ejected = sorted(self._ejected)
+            draining = sorted(self._draining)
+            parked = sorted(self._parked)
         per_replica = {}
-        for rid, replica in self.replicas.items():
-            snap = self.health[rid].snapshot()
+        for rid, replica in list(self.replicas.items()):
+            health = self.health.get(rid)
+            snap = health.snapshot() if health is not None else {}
             snap["alive"] = replica.alive
             snap["outstanding"] = replica.outstanding
             snap["models"] = sum(1 for h in placement.values() if rid in h)
+            snap["draining"] = rid in draining
             per_replica[rid] = snap
         return {
             "replicas": per_replica,
-            "models": len(placement),
+            "models": len(placement) + len(parked),
             "placement": placement,
             "ejected": ejected,
+            "draining": draining,
+            "parked": parked,
         }
 
     def cluster_snapshot(self) -> Dict[str, Dict]:
@@ -259,12 +320,15 @@ class ServiceRouter:
         distribution with exact bucket counts.
         """
         merged = MetricsRegistry()
-        for replica in self.replicas.values():
+        for replica in list(self.replicas.values()):
             # metrics_registry() captures each source registry in one
             # critical section (and, for process replicas, folds in the
             # freshest child snapshot), so a racing writer can never be
             # observed half-applied in the merged view.
             merged.merge(replica.metrics_registry())
+        # Replicas that left the cluster (drained or replaced) live on
+        # here: totals never move backwards under dynamic topology.
+        merged.merge(self._retired)
         merged.merge(self.metrics)
         return merged.snapshot()
 
@@ -387,6 +451,7 @@ class ServiceRouter:
             if parent_id is not None:
                 self._children.setdefault(parent_id, set()).add(gid)
                 self._parent[gid] = parent_id
+        self._touch(gid)
         return gid
 
     # ------------------------------------------------------------------
@@ -399,7 +464,7 @@ class ServiceRouter:
         ``health.max_missed_heartbeats`` it is ejected and its models
         re-replicated.  Returns :meth:`status` for convenience.
         """
-        for rid, replica in self.replicas.items():
+        for rid, replica in list(self.replicas.items()):
             with self._lock:
                 if rid in self._ejected:
                     continue
@@ -408,7 +473,9 @@ class ServiceRouter:
                 # the missed-beat budget on it like on a partition.
                 self._on_replica_down(rid, reason="found dead on heartbeat")
                 continue
-            health = self.health[rid]
+            health = self.health.get(rid)
+            if health is None:  # removed by a racing drain
+                continue
             if replica.ping():
                 health.heartbeat_ok()
             else:
@@ -420,10 +487,12 @@ class ServiceRouter:
     def _on_replica_down(self, rid: str, reason: str) -> None:
         """Eject a dead/unreachable replica and restore replication."""
         with self._lock:
-            if rid in self._ejected:
+            if rid in self._ejected or rid not in self.replicas:
                 return
             self._ejected.add(rid)
-        self.health[rid].mark_down(reason)
+        health = self.health.get(rid)
+        if health is not None:
+            health.mark_down(reason)
         self.metrics.counter("router.ejections").inc()
         self._rereplicate_from(rid)
 
@@ -467,19 +536,394 @@ class ServiceRouter:
             self.metrics.counter("router.rereplications").inc()
 
     # ------------------------------------------------------------------
+    # Elastic topology (the autoscaler's surface)
+    # ------------------------------------------------------------------
+    def add_replica(self, replica) -> None:
+        """Bring a new replica online (scale-up).
+
+        The replica joins with fresh health and breaker state and starts
+        receiving *new* placements immediately; call :meth:`rebalance`
+        to also hand it its rendezvous share of existing models.  An id
+        that previously served and left (ejected corpse, completed
+        drain) may be reused: the departed replica's metrics were folded
+        into the retired registry, so ``cluster_snapshot`` totals stay
+        monotone across add → drain → re-add of the same id.
+        """
+        rid = replica.replica_id
+        with self._lock:
+            existing = self.replicas.get(rid)
+            if (
+                existing is not None
+                and existing.alive
+                and rid not in self._ejected
+            ):
+                raise ValueError(f"replica id {rid!r} is already active")
+        if existing is not None:
+            # Fold the predecessor's counters in before the new replica
+            # takes over the id, so nothing is double- or under-counted.
+            self._retire_metrics(existing)
+        with self._lock:
+            self.replicas[rid] = replica
+            self.health[rid] = ReplicaHealth(rid, self.config.health)
+            self._breakers[rid] = self._make_breaker()
+            self._ejected.discard(rid)
+            self._draining.discard(rid)
+        self.metrics.counter("router.replicas_added").inc()
+
+    def drain_replica(
+        self, rid: str, timeout_s: Optional[float] = None
+    ) -> Dict[str, object]:
+        """Gracefully retire a replica (scale-down), losing nothing.
+
+        Protocol: (1) mark the replica draining — it takes no new
+        placements and other holders are preferred for reads; (2)
+        re-replicate every model it holds onto the survivors, so each
+        placement keeps its replication factor without it; (3) wait
+        (bounded by ``timeout_s`` / ``RouterConfig.drain_timeout_s``)
+        for its in-flight calls to finish; (4) fold its metrics into the
+        retired registry, shut it down and remove it.  A replica that is
+        killed mid-drain degrades to the crash path: its in-flight calls
+        fail over to the survivors holding the copies step (2) already
+        made, so the zero-lost invariant survives a SIGKILL.
+        """
+        with self._lock:
+            if rid not in self.replicas:
+                raise KeyError(f"unknown replica id {rid!r}")
+            if rid in self._draining:
+                raise ValueError(f"replica {rid!r} is already draining")
+            survivors = [
+                r
+                for r in self.replicas
+                if r != rid
+                and r not in self._ejected
+                and r not in self._draining
+                and self.replicas[r].alive
+            ]
+            if not survivors:
+                raise ValueError(
+                    f"cannot drain {rid!r}: it is the last live replica"
+                )
+            self._draining.add(rid)
+        self.metrics.counter("router.drains_started").inc()
+        started = self.clock.now()
+        replica = self.replicas[rid]
+        moved = self._evacuate_models(rid)
+        budget = (
+            timeout_s if timeout_s is not None else self.config.drain_timeout_s
+        )
+        drained = wait_until(
+            lambda: replica.outstanding == 0 or not replica.alive,
+            timeout=budget,
+            interval=self.config.drain_poll_interval_s,
+            clock=self.clock,
+        )
+        died = not replica.alive
+        self.remove_replica(rid)
+        self.metrics.counter("router.drains_completed").inc()
+        if died:
+            self.metrics.counter("router.drains_died_midway").inc()
+        return {
+            "replica_id": rid,
+            "models_moved": moved,
+            "drained_clean": bool(drained) and not died,
+            "died_mid_drain": died,
+            "duration_s": self.clock.now() - started,
+        }
+
+    def remove_replica(self, rid: str) -> None:
+        """Tear a replica out of the cluster (post-drain, or a corpse).
+
+        Placements that still reference it fall back to their other
+        holders; a model whose *only* live copy sits on the departing
+        replica is parked (entry pulled out, restored on next use) so it
+        survives the removal — only a copy on a corpse is truly lost.
+        """
+        replica = self.replicas.get(rid)
+        if replica is None:
+            return
+        with self._lock:
+            affected = [
+                (gid, list(h))
+                for gid, h in self._placement.items()
+                if rid in h
+            ]
+        for gid, holders in affected:
+            rest = [h for h in holders if h != rid]
+            if rest:
+                with self._lock:
+                    if gid in self._placement:
+                        self._placement[gid] = rest
+                continue
+            entry = None
+            if replica.alive:
+                try:
+                    entry = replica.fetch_entry(gid)
+                except (KeyError, TransientServiceError):
+                    entry = None
+            with self._lock:
+                self._placement.pop(gid, None)
+                if entry is not None:
+                    self._parked[gid] = entry
+            if entry is not None:
+                self.metrics.counter("router.models_parked").inc()
+            else:
+                self.metrics.counter("router.models_lost").inc()
+        self._retire_metrics(replica)
+        replica.shutdown()
+        with self._lock:
+            self.replicas.pop(rid, None)
+            self.health.pop(rid, None)
+            self._breakers.pop(rid, None)
+            self._draining.discard(rid)
+            self._ejected.discard(rid)
+        self.metrics.counter("router.replicas_removed").inc()
+
+    def rebalance(self) -> Dict[str, int]:
+        """Re-run rendezvous placement over the current routable fleet.
+
+        Called after a scale-up so the newcomer receives its ~1/N share
+        of existing models.  Copies are *installed* on new rendezvous
+        holders but never eagerly dropped from displaced ones — an
+        in-flight read routed by the old placement must still find its
+        copy; stale copies cost memory, not correctness, and leave with
+        the model's delete/park.
+        """
+        routable = self._routable_ids()
+        installed = 0
+        moved = 0
+        if not routable:
+            return {"models_moved": 0, "copies_installed": 0}
+        with self._lock:
+            items = [(gid, list(h)) for gid, h in self._placement.items()]
+        for gid, holders in items:
+            desired = place(gid, routable, self.config.replication_factor)
+            sources = [
+                h
+                for h in holders
+                if h in self.replicas
+                and self.replicas[h].alive
+                and self.replicas[h].has_model(gid)
+            ]
+            if not sources:
+                continue
+            new_holders = []
+            for target in desired:
+                if target in sources or self.replicas[target].has_model(gid):
+                    new_holders.append(target)
+                    continue
+                try:
+                    self._copy_entry(sources[0], target, gid)
+                except TransientServiceError as error:
+                    if isinstance(error, ReplicaDownError):
+                        self._on_replica_down(target, reason=str(error))
+                    continue
+                installed += 1
+                new_holders.append(target)
+            if not new_holders:
+                continue
+            with self._lock:
+                if (
+                    gid in self._placement
+                    and self._placement[gid] != new_holders
+                ):
+                    self._placement[gid] = new_holders
+                    moved += 1
+        self.metrics.counter("router.rebalances").inc()
+        return {"models_moved": moved, "copies_installed": installed}
+
+    def _evacuate_models(self, rid: str) -> int:
+        """Step (2) of a drain: restore every placement's replication
+        factor on the survivors before the replica leaves."""
+        with self._lock:
+            affected = [
+                (gid, list(h))
+                for gid, h in self._placement.items()
+                if rid in h
+            ]
+        survivors = self._routable_ids()  # excludes the draining replica
+        moved = 0
+        for gid, holders in affected:
+            if not survivors:
+                break
+            desired = place(gid, survivors, self.config.replication_factor)
+            sources = [
+                h
+                for h in holders
+                if h != rid
+                and h in self.replicas
+                and self.replicas[h].alive
+                and self.replicas[h].has_model(gid)
+            ]
+            replica = self.replicas.get(rid)
+            if replica is not None and replica.alive and replica.has_model(gid):
+                # The draining replica itself is a valid (often the only)
+                # copy source; it is still alive and still answering.
+                sources.append(rid)
+            installed = [
+                h for h in desired if self.replicas[h].has_model(gid)
+            ]
+            for target in desired:
+                if target in installed:
+                    continue
+                for source in sources:
+                    try:
+                        self._copy_entry(source, target, gid)
+                    except TransientServiceError:
+                        continue
+                    installed.append(target)
+                    break
+            if installed:
+                with self._lock:
+                    if gid in self._placement:
+                        self._placement[gid] = [
+                            h for h in desired if h in installed
+                        ]
+                moved += 1
+                self.metrics.counter("router.rereplications").inc()
+            # else: no survivor could take a copy — keep the old
+            # placement; remove_replica() will park the entry.
+        return moved
+
+    def _retire_metrics(self, replica) -> None:
+        """Fold a departing replica's counters into the retired registry
+        exactly once (keyed by object identity, so a re-added id never
+        double-counts its predecessor)."""
+        key = id(replica)
+        with self._lock:
+            if key in self._retired_replicas:
+                return
+            self._retired_replicas.add(key)
+        try:
+            self._retired.merge(replica.metrics_registry())
+        except Exception:  # a corpse with a broken transport still retires
+            self._retired.merge(replica.metrics)
+
+    # ------------------------------------------------------------------
+    # Scale-to-zero (idle-model parking)
+    # ------------------------------------------------------------------
+    def idle_models(
+        self, ttl_s: float, now: Optional[float] = None
+    ) -> List[str]:
+        """Placed models that served nothing for the last ``ttl_s``."""
+        now = self.clock.now() if now is None else now
+        with self._lock:
+            return sorted(
+                gid
+                for gid in self._placement
+                if now - self._last_served.get(gid, 0.0) >= ttl_s
+            )
+
+    def park_model(self, gid: str) -> bool:
+        """Scale a model to zero: keep its entry, drop every live copy.
+
+        Returns ``False`` if it was already parked.  Intended for *idle*
+        models (see :meth:`idle_models`); the next request that names the
+        model pays the unpark cold start instead of a KeyError.
+        """
+        with self._lock:
+            if gid in self._parked:
+                return False
+            if gid not in self._placement:
+                raise KeyError(f"unknown model id {gid!r}")
+            holders = list(self._placement[gid])
+        entry = None
+        for rid in holders:
+            replica = self.replicas.get(rid)
+            if replica is None or not replica.alive:
+                continue
+            try:
+                entry = replica.fetch_entry(gid)
+                break
+            except (KeyError, TransientServiceError):
+                continue
+        if entry is None:
+            raise NoHealthyReplicaError(f"no live copy of {gid!r} to park")
+        with self._lock:
+            self._parked[gid] = entry
+            self._placement.pop(gid, None)
+        for rid in holders:
+            replica = self.replicas.get(rid)
+            if replica is None or not replica.alive:
+                continue
+            try:
+                replica.drop_model(gid, timeout=self.config.call_timeout_s)
+            except (TransientServiceError, FutureTimeoutError):
+                pass
+        self.metrics.counter("router.models_parked").inc()
+        return True
+
+    def unpark_model(self, gid: str) -> List[str]:
+        """Restore a parked model onto the current fleet (model-level
+        cold start); returns the new holders."""
+        with self._lock:
+            entry = self._parked.get(gid)
+            if entry is None:
+                if gid in self._placement:  # raced another unpark: done
+                    return list(self._placement[gid])
+                raise KeyError(f"model {gid!r} is not parked")
+        started = self.clock.now()
+        desired = place(
+            gid, self._routable_ids(), self.config.replication_factor
+        )
+        installed = []
+        for rid in desired:
+            try:
+                self._install_on(rid, entry)
+            except TransientServiceError as error:
+                if isinstance(error, ReplicaDownError):
+                    self._on_replica_down(rid, reason=str(error))
+                continue
+            installed.append(rid)
+        if not installed:
+            raise NoHealthyReplicaError(
+                f"no replica could host unparked model {gid!r}"
+            )
+        now = self.clock.now()
+        with self._lock:
+            self._placement[gid] = installed
+            self._parked.pop(gid, None)
+            self._last_served[gid] = now
+        self.metrics.counter("router.models_unparked").inc()
+        self.metrics.histogram("router.unpark_ms", lo=1e-3).observe(
+            (now - started) * 1000.0
+        )
+        return installed
+
+    def _ensure_placed(self, model_id: Optional[str]) -> None:
+        if model_id is None:
+            return
+        with self._lock:
+            parked = model_id in self._parked
+        if parked:
+            self.unpark_model(model_id)
+
+    def _touch(self, model_id: Optional[str]) -> None:
+        if model_id is None:
+            return
+        now = self.clock.now()
+        with self._lock:
+            self._last_served[model_id] = now
+
+    # ------------------------------------------------------------------
     # Routing internals
     # ------------------------------------------------------------------
     def _next_id(self) -> str:
         return f"g{next(self._ids)}"
 
     def _routable_ids(self) -> List[str]:
+        """Replicas eligible for *new* placements and routed calls.
+
+        Draining replicas are excluded: they keep serving what they
+        already hold (see :meth:`_ordered`) but take on nothing new.
+        """
         with self._lock:
-            ejected = set(self._ejected)
+            excluded = self._ejected | self._draining
         return [
             rid
-            for rid, replica in self.replicas.items()
-            if rid not in ejected
+            for rid, replica in list(self.replicas.items())
+            if rid not in excluded
             and replica.alive
+            and rid in self.health
             and self.health[rid].routable
         ]
 
@@ -523,6 +967,9 @@ class ServiceRouter:
         return response
 
     def _read(self, endpoint: str, request):
+        # A parked (scaled-to-zero) model is restored on demand: the
+        # first request after idleness pays the unpark cold start.
+        self._ensure_placed(request.model_id)
         response, _rid = self._dispatch(
             endpoint,
             request,
@@ -530,6 +977,7 @@ class ServiceRouter:
                 endpoint, self.holders(request.model_id), request
             ),
         )
+        self._touch(request.model_id)
         return response
 
     def _dispatch(
@@ -617,14 +1065,22 @@ class ServiceRouter:
                 self._on_replica_down(rid, reason="found dead while routing")
         with self._lock:
             ejected = set(self._ejected)
+            draining = set(self._draining)
         alive = [
             rid
             for rid in candidate_ids
             if rid not in ejected
             and rid in self.replicas
             and self.replicas[rid].alive
+            and rid in self.health
             and self.health[rid].routable
         ]
+        # A draining replica is a last resort: traffic shifts to the
+        # other holders, but until evacuation lands it can still serve
+        # what only it holds — that is what makes drains lose nothing.
+        preferred = [rid for rid in alive if rid not in draining]
+        if preferred:
+            alive = preferred
         if len(alive) <= 1:
             return alive
         if self.config.policy == ROUND_ROBIN:
@@ -730,6 +1186,7 @@ class ServiceRouter:
         self._rekey(rid, response.model_id, gid)
         response.model_id = gid
         self._place_new(gid, rid)
+        self._touch(gid)
         return response
 
     def _reduce(self, request: ReduceRequest):
@@ -796,7 +1253,7 @@ class ServiceRouter:
     def _delete(self, request: DeleteRequest) -> DeleteResponse:
         gid = request.model_id
         with self._lock:
-            if gid not in self._placement:
+            if gid not in self._placement and gid not in self._parked:
                 raise KeyError(f"unknown model id {gid!r}")
             children = sorted(self._children.get(gid, ()))
         if children and not request.cascade:
@@ -829,6 +1286,8 @@ class ServiceRouter:
                 pass
         with self._lock:
             self._placement.pop(gid, None)
+            self._parked.pop(gid, None)
+            self._last_served.pop(gid, None)
             self._children.pop(gid, None)
             parent = self._parent.pop(gid, None)
             if parent is not None and parent in self._children:
@@ -856,6 +1315,46 @@ class ServiceRouter:
         )
 
 
+def make_replica(
+    replica_id: str,
+    *,
+    backend: str = THREAD_BACKEND,
+    seed: int = 0,
+    synthetic_work_s: float = 0.0,
+    work_kind: str = WORK_SLEEP,
+    start_method: Optional[str] = None,
+    arena_bytes: int = 8 << 20,
+    auto_respawn: bool = False,
+):
+    """Build one replica of the chosen backend — the unit of scale-up.
+
+    ``make_cluster`` uses this for the initial fleet, and an
+    :class:`~repro.cluster.autoscaler.Autoscaler` uses it (via the
+    factory ``make_cluster`` attaches to the router) to spawn additional
+    replicas online.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}"
+        )
+    if backend == PROCESS_BACKEND:
+        return ProcessReplica(
+            replica_id,
+            seed=seed,
+            synthetic_work_s=synthetic_work_s,
+            work_kind=work_kind,
+            start_method=start_method,
+            arena_bytes=arena_bytes,
+            auto_respawn=auto_respawn,
+        )
+    return ServiceReplica(
+        replica_id,
+        seed=seed,
+        synthetic_work_s=synthetic_work_s,
+        work_kind=work_kind,
+    )
+
+
 def make_cluster(
     num_replicas: int,
     *,
@@ -868,6 +1367,7 @@ def make_cluster(
     start_method: Optional[str] = None,
     arena_bytes: int = 8 << 20,
     auto_respawn: bool = False,
+    clock: Optional[Clock] = None,
 ) -> ServiceRouter:
     """Spin up ``num_replicas`` replicas behind a router.
 
@@ -876,6 +1376,11 @@ def make_cluster(
     its own ``multiprocessing`` child with shared-memory tensor
     transport — real core-level parallelism, real crash faults.  The
     router's surface and invariants are identical for both.
+
+    The returned router carries a ``replica_factory`` attribute — a
+    ``(replica_id, index) -> replica`` callable reproducing these
+    construction parameters — which is what the autoscaler uses to grow
+    the fleet with identically-configured replicas.
     """
     if num_replicas < 1:
         raise ValueError("num_replicas must be >= 1")
@@ -883,27 +1388,23 @@ def make_cluster(
         raise ValueError(
             f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}"
         )
-    if backend == PROCESS_BACKEND:
-        replicas: List = [
-            ProcessReplica(
-                f"r{i}",
-                seed=seed + i,
-                synthetic_work_s=synthetic_work_s,
-                work_kind=work_kind,
-                start_method=start_method,
-                arena_bytes=arena_bytes,
-                auto_respawn=auto_respawn,
-            )
-            for i in range(num_replicas)
-        ]
-    else:
-        replicas = [
-            ServiceReplica(
-                f"r{i}",
-                seed=seed + i,
-                synthetic_work_s=synthetic_work_s,
-                work_kind=work_kind,
-            )
-            for i in range(num_replicas)
-        ]
-    return ServiceRouter(replicas, config=config, admission=admission)
+
+    def factory(replica_id: str, index: int):
+        return make_replica(
+            replica_id,
+            backend=backend,
+            seed=seed + index,
+            synthetic_work_s=synthetic_work_s,
+            work_kind=work_kind,
+            start_method=start_method,
+            arena_bytes=arena_bytes,
+            auto_respawn=auto_respawn,
+        )
+
+    replicas = [factory(f"r{i}", i) for i in range(num_replicas)]
+    router = ServiceRouter(
+        replicas, config=config, admission=admission, clock=clock
+    )
+    router.replica_factory = factory
+    router.backend = backend
+    return router

@@ -94,6 +94,98 @@ class TestReadConsistency:
                     t.join()
 
 
+class TestDynamicTopology:
+    """The autoscaler churns the fleet; the merged view must not wobble.
+
+    Departing replicas fold their counters into the router's retired
+    registry, so cluster totals are (a) monotone non-decreasing across
+    any add/drain sequence and (b) *exact* — equal to the work actually
+    served — even when the same replica id leaves and later rejoins as
+    a brand-new object.
+    """
+
+    def _served(self, router):
+        return router.cluster_snapshot()["counters"].get(
+            "replica.calls.classify", 0
+        )
+
+    def test_totals_exact_across_add_drain_readd_thread(self, tiny_model):
+        from repro.cluster import make_replica
+
+        model, dataset, predictor = tiny_model
+        with make_cluster(2, config=RouterConfig(replication_factor=2)) as router:
+            gid = router.register_model(
+                "churn", model, train_set=dataset, predictor=predictor
+            )
+            request = ClassifyRequest(model_id=gid, inputs=dataset.inputs[:2])
+            seen = []
+            for _ in range(4):
+                router.classify(request)
+            seen.append(self._served(router))
+            assert seen[-1] == 4
+
+            router.add_replica(make_replica("r2"))
+            router.rebalance()
+            for _ in range(4):
+                router.classify(request)
+            seen.append(self._served(router))
+            assert seen[-1] == 8
+
+            # Drain a serving holder: its counters move to the retired
+            # registry, not out of the total.
+            victim = router.holders(gid)[0]
+            router.drain_replica(victim)
+            seen.append(self._served(router))
+            assert seen[-1] == 8
+
+            for _ in range(4):
+                router.classify(request)
+            seen.append(self._served(router))
+            assert seen[-1] == 12
+
+            # The same id rejoins as a fresh object: its predecessor's
+            # work must be counted exactly once, never twice.
+            router.add_replica(make_replica(victim))
+            router.rebalance()
+            for _ in range(4):
+                router.classify(request)
+            seen.append(self._served(router))
+            assert seen[-1] == 16
+            assert seen == sorted(seen)  # monotone at every observation
+
+    def test_totals_exact_across_drain_readd_process(self):
+        rng = np.random.default_rng(0)
+        inputs = rng.normal(size=(12, TINY.in_channels, 8, 8))
+        labels = rng.integers(0, 3, size=12)
+        config = RouterConfig(replication_factor=2, call_timeout_s=120.0)
+        with make_cluster(2, backend="process", config=config) as router:
+            from repro.cluster import make_replica
+
+            gid = router.train(
+                TrainRequest(
+                    inputs=inputs, labels=labels, model_config=TINY, epochs=1
+                )
+            ).model_id
+            request = ClassifyRequest(model_id=gid, inputs=inputs[:2])
+            for _ in range(3):
+                router.classify(request)
+            assert self._served(router) == 3
+
+            victim = router.holders(gid)[0]
+            router.drain_replica(victim)
+            # The child is gone, but its shipped counters survive in the
+            # retired registry.
+            assert self._served(router) == 3
+
+            router.add_replica(make_replica(victim, backend="process"))
+            router.rebalance()
+            for _ in range(3):
+                router.classify(request)
+            assert self._served(router) == 6
+        for replica in router.replicas.values():
+            replica.assert_no_shm_leaks()
+
+
 class TestProcessBackend:
     def test_child_serve_counters_fold_into_the_cluster_view(self):
         rng = np.random.default_rng(0)

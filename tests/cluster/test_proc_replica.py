@@ -17,7 +17,6 @@ tests (kill, watchdog respawn) each pay for their own.  What's pinned:
 
 import os
 import signal
-import time
 
 import numpy as np
 import pytest
@@ -35,13 +34,8 @@ INPUTS = rng.normal(size=(12, TINY.in_channels, 8, 8))
 LABELS = rng.integers(0, 3, size=12)
 
 
-def wait_until(predicate, timeout=15.0, interval=0.05):
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        if predicate():
-            return True
-        time.sleep(interval)
-    return predicate()
+# Bounded polling for real child-process transitions (see tests/conftest.py).
+from repro.cluster import wait_until  # noqa: E402
 
 
 @pytest.fixture(scope="module")
@@ -134,7 +128,9 @@ class TestExitPaths:
             "classify",
             ClassifyRequest(model_id="missing", inputs=np.zeros((4, 3, 8, 8))),
         )
-        time.sleep(0.1)
+        # The call is in flight (whether the child dequeued it yet or
+        # not, the future must settle after the kill — never hang).
+        assert wait_until(lambda: r.outstanding >= 1, timeout=5.0)
         r.kill()
         with pytest.raises((ReplicaDownError, KeyError)):
             # ReplicaDownError if the kill won the race, the service's

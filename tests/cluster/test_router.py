@@ -1,7 +1,7 @@
 """Router/client round-trips, placement invariants, balancing policies
 and the composition of router- and replica-level admission control."""
 
-import time
+import threading
 
 import numpy as np
 import pytest
@@ -201,15 +201,16 @@ class TestPolicies:
                 "lo", model, train_set=dataset, predictor=predictor
             )
             busy, idle = router.holders(gid)
-            # Occupy the busy replica's worker so its queue depth stays up.
-            release = {"t": 0.15}
-            blocker = router.replicas[busy].execute(
-                lambda: time.sleep(release["t"])
-            )
+            # Occupy the busy replica's worker until released: its queue
+            # depth stays up for exactly as long as the test needs, with
+            # no machine-tuned sleep.
+            gate = threading.Event()
+            blocker = router.replicas[busy].execute(gate.wait)
             for _ in range(3):
                 router.classify(
                     ClassifyRequest(model_id=gid, inputs=dataset.inputs[:2])
                 )
+            gate.set()
             blocker.result(2.0)
             idle_count = (
                 router.replicas[idle]
@@ -228,9 +229,8 @@ class TestPolicies:
                 "ut", model, train_set=dataset, predictor=predictor
             )
             loaded, free = router.holders(gid)
-            blocker = router.replicas[loaded].execute(
-                lambda: time.sleep(0.15)
-            )
+            gate = threading.Event()
+            blocker = router.replicas[loaded].execute(gate.wait)
             request = ClassifyRequest(
                 model_id=gid, inputs=dataset.inputs[:2]
             )
@@ -245,6 +245,7 @@ class TestPolicies:
                     {"model_id": gid, "latency_constraint_s": 0.05},
                 )(),
             )
+            gate.set()
             blocker.result(2.0)
             assert order[0] == free
             router.classify(request)  # and the cluster still serves

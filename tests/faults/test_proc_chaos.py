@@ -23,7 +23,6 @@ so the child's decode fails validation.  Pinned:
 
 import os
 import signal
-import time
 
 import numpy as np
 import pytest
@@ -72,13 +71,8 @@ def proc_cluster(n, **kwargs):
     return make_cluster(n, backend="process", **kwargs)
 
 
-def wait_until(predicate, timeout=15.0, interval=0.05):
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        if predicate():
-            return True
-        time.sleep(interval)
-    return predicate()
+# Bounded polling for real child-process transitions (see tests/conftest.py).
+from repro.cluster import wait_until  # noqa: E402
 
 
 class TestShmCorruption:

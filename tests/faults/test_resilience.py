@@ -107,15 +107,9 @@ class TestRetryPolicyCall:
         assert seen == [1, 2]
 
 
-class FakeClock:
-    def __init__(self):
-        self.now = 0.0
-
-    def __call__(self):
-        return self.now
-
-    def advance(self, dt):
-        self.now += dt
+# The shared virtual clock doubles as the bare ``clock=`` callable the
+# breaker takes (calling the instance returns now()).
+from repro.cluster import VirtualClock as FakeClock  # noqa: E402
 
 
 class TestCircuitBreaker:
