@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos overload overload-smoke cluster cluster-proc autoscale autoscale-smoke bench bench-fast bench-telemetry bench-admission bench-cluster examples experiments clean
+.PHONY: install test chaos overload overload-smoke cluster cluster-proc autoscale autoscale-smoke workload workload-smoke isolation isolation-smoke bench bench-fast bench-telemetry bench-admission bench-cluster examples experiments clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -38,6 +38,23 @@ autoscale:
 autoscale-smoke:
 	$(PYTHON) -m pytest tests/cluster/test_autoscaler.py tests/cluster/test_autoscaler_cluster.py -q
 	$(PYTHON) -m repro.cli autoscale --smoke --seed 0
+
+workload:
+	$(PYTHON) -m pytest tests/workload -q
+	$(PYTHON) -m repro.cli workload --seed 0
+
+workload-smoke:
+	$(PYTHON) -m pytest tests/workload -q
+	$(PYTHON) -m repro.cli workload --smoke --seed 0
+
+isolation:
+	$(PYTHON) -m pytest tests/workload tests/admission -q
+	$(PYTHON) -m repro.cli isolation --seed 0 \
+		--record bench_results/isolation.txt
+
+isolation-smoke:
+	$(PYTHON) -m pytest tests/workload tests/admission -q
+	$(PYTHON) -m repro.cli isolation --smoke --seed 0
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

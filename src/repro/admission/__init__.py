@@ -37,15 +37,19 @@ config, behaviour and performance are unchanged (guarded by
 from .config import AdmissionConfig
 from .controller import (
     CONCURRENCY,
+    NO_TENANT,
+    OTHER_TENANTS,
     QUEUE_FULL,
     RATE_LIMIT,
     REJECT_REASONS,
     SHED,
+    TENANT_QUOTA,
     AdmissionController,
     AdmissionDecision,
     EndpointLimits,
+    TenantQuota,
 )
-from .limits import ConcurrencyLimiter, TokenBucket
+from .limits import ClockSourceMixError, ConcurrencyLimiter, TokenBucket
 from .shedding import (
     SHED_POLICIES,
     TAIL,
@@ -60,8 +64,10 @@ __all__ = [
     "AdmissionController",
     "AdmissionDecision",
     "EndpointLimits",
+    "TenantQuota",
     "TokenBucket",
     "ConcurrencyLimiter",
+    "ClockSourceMixError",
     "expected_utility",
     "reachable_stage",
     "select_shed",
@@ -69,6 +75,9 @@ __all__ = [
     "CONCURRENCY",
     "QUEUE_FULL",
     "SHED",
+    "TENANT_QUOTA",
+    "NO_TENANT",
+    "OTHER_TENANTS",
     "REJECT_REASONS",
     "SHED_POLICIES",
     "UTILITY",

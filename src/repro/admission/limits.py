@@ -15,6 +15,21 @@ import time
 from typing import Callable, Optional
 
 
+class ClockSourceMixError(ValueError):
+    """A :class:`TokenBucket` was driven from two unrelated timelines.
+
+    Calls that pass ``now=`` (virtual time) interleaved with calls that
+    fall back to the bucket's own clock would move ``_refilled_at``
+    between timelines with no common origin, silently minting or
+    destroying tokens.  The bucket latches onto whichever source its
+    first decision used and refuses the other one ever after.
+    """
+
+
+_INTERNAL = "internal"
+_EXTERNAL = "external"
+
+
 class TokenBucket:
     """Classic token-bucket rate limiter.
 
@@ -22,6 +37,13 @@ class TokenBucket:
     admitted request consumes one.  :meth:`retry_after` converts the token
     deficit back into the seconds a rejected caller should wait — the
     retry-after hint carried by a typed rejection.
+
+    **One timeline per bucket.**  A bucket is driven either by its own
+    ``clock`` (no ``now=`` argument — the live service) or by explicit
+    ``now=`` timestamps (virtual time — the simulator and the workload
+    engine), never both: the first decision latches the source and a call
+    from the other source raises :class:`ClockSourceMixError` instead of
+    corrupting ``_refilled_at``.
     """
 
     def __init__(
@@ -39,7 +61,28 @@ class TokenBucket:
         self._clock = clock
         self._tokens = self.burst
         self._refilled_at = clock()
+        #: which timeline drives this bucket; latched by the first decision.
+        self._source: Optional[str] = None
         self._lock = threading.Lock()
+
+    def _now_locked(self, now: Optional[float]) -> float:
+        """Resolve the decision timestamp, latching the clock source."""
+        source = _INTERNAL if now is None else _EXTERNAL
+        if self._source is None:
+            self._source = source
+            if source == _EXTERNAL:
+                # The constructor stamped _refilled_at from the internal
+                # clock; restart the timeline at the caller's origin so
+                # the first virtual timestamp cannot mint/destroy tokens.
+                self._refilled_at = now
+        elif self._source != source:
+            raise ClockSourceMixError(
+                f"TokenBucket latched to its {self._source} clock source; "
+                f"a call {'passing now=' if now is not None else 'without now='} "
+                "would interleave an unrelated timeline (tokens would be "
+                "minted or destroyed). Drive each bucket from one source."
+            )
+        return self._clock() if now is None else now
 
     def _refill(self, now: float) -> None:
         elapsed = max(0.0, now - self._refilled_at)
@@ -50,16 +93,26 @@ class TokenBucket:
         """Consume one token if available; ``now`` overrides the clock
         (virtual-time callers must pass a monotone sequence)."""
         with self._lock:
-            self._refill(self._clock() if now is None else now)
+            self._refill(self._now_locked(now))
             if self._tokens >= 1.0:
                 self._tokens -= 1.0
                 return True
             return False
 
+    def charge(self, now: Optional[float] = None) -> None:
+        """Deduct one token unconditionally, allowing the balance to go
+        negative (debt).  Used by hierarchical sharing: guaranteed-share
+        admissions debit the shared pool so borrowers only ever see
+        capacity that is genuinely unused — a failed best-effort charge
+        would silently inflate the aggregate admitted rate instead."""
+        with self._lock:
+            self._refill(self._now_locked(now))
+            self._tokens -= 1.0
+
     def retry_after(self, now: Optional[float] = None) -> float:
         """Seconds until one token will be available (0 if one already is)."""
         with self._lock:
-            self._refill(self._clock() if now is None else now)
+            self._refill(self._now_locked(now))
             deficit = 1.0 - self._tokens
             return max(0.0, deficit / self.rate_per_s)
 

@@ -11,6 +11,8 @@ Usage::
     python -m repro.cli overload [--json] [--smoke] [--seed N]
     python -m repro.cli cluster [--json] [--seed N] [--requests N]
     python -m repro.cli autoscale [--json] [--smoke] [--seed N]
+    python -m repro.cli workload [--json] [--smoke] [--seed N] [--requests N]
+    python -m repro.cli isolation [--json] [--smoke] [--seed N]
 
 The first run of the model-backed experiments trains the benchmark model
 (~4 minutes) and caches it under ``.bench_cache/``.
@@ -51,6 +53,20 @@ and an autoscaled fleet; exits non-zero unless autoscaling reaches >=
 beats static-small goodput, and loses zero requests — including a
 drain episode whose victim is SIGKILLed mid-drain.  ``--smoke`` shortens
 the trace and keeps the chaos episode on the thread backend for CI.
+
+``workload`` pushes a million-request seeded multi-tenant trace (diurnal
+cycles, MMPP bursts, a correlated flash crowd over all 11 endpoints)
+through the DES workload engine and the real admission controller with
+weighted-fair tenant quotas (docs/WORKLOAD.md); exits non-zero unless
+per-tenant accounting is exact.
+
+``isolation`` runs the tenant-isolation gate (docs/WORKLOAD.md): >= 1M
+DES requests plus >= 100k replayed against a real cluster, per-tenant
+accounting exact everywhere; exits non-zero unless an abuser at 10x its
+quota leaves every compliant tenant's p99 within 1.25x and goodput
+within 5%% of running alone — and unless the same contention *without*
+quotas demonstrably violates those bounds (the non-vacuity check).
+``--smoke`` scales the volume floors down for CI.
 """
 
 from __future__ import annotations
@@ -594,6 +610,198 @@ def _autoscale_main(argv) -> int:
     return 1 if failures else 0
 
 
+def _workload_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro workload",
+        description=(
+            "Million-request DES workload: a seeded multi-tenant trace "
+            "(diurnal + bursts + flash crowd) pushed through the real "
+            "admission controller with weighted-fair tenant quotas "
+            "(see docs/WORKLOAD.md)."
+        ),
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--smoke", action="store_true", help="~50k requests instead of 1M"
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="target arrival count (default 1,000,000; smoke 50,000)",
+    )
+    args = parser.parse_args(argv)
+
+    import math as _math
+
+    from .admission import AdmissionController, TenantQuota
+    from .workload import (
+        EngineConfig,
+        TenantSpec,
+        WorkloadEngine,
+        generate_trace,
+    )
+    from .workload.trace import FlashCrowd
+
+    target = args.requests or (50_000 if args.smoke else 1_000_000)
+    # Six tenants with distinct shapes; rates sum to 2,200/s, so the
+    # duration follows from the target arrival count.
+    specs = [
+        TenantSpec(
+            name=f"tenant-{i:02d}",
+            rate_per_s=rate,
+            weight=weight,
+            diurnal_amplitude=0.2,
+            diurnal_period_s=60.0,
+            diurnal_phase=2.0 * _math.pi * i / 6.0,
+            burst_multiplier=1.5 if i % 2 else 1.0,
+            burst_fraction=0.05 if i % 2 else 0.0,
+            burst_mean_s=5.0,
+            flash_group="crowd" if i < 3 else None,
+        )
+        for i, (rate, weight) in enumerate(
+            [(600.0, 3.0), (400.0, 2.0), (400.0, 2.0),
+             (300.0, 1.5), (300.0, 1.5), (200.0, 1.0)]
+        )
+    ]
+    total_rate = sum(s.rate_per_s for s in specs)
+    duration = target / total_rate
+    trace = generate_trace(
+        specs,
+        duration_s=duration,
+        seed=args.seed,
+        flash_crowds=(
+            FlashCrowd(
+                group="crowd",
+                start_s=0.4 * duration,
+                duration_s=0.1 * duration,
+                multiplier=1.4,
+            ),
+        ),
+    )
+    admission = AdmissionController(
+        per_tenant={s.name: TenantQuota(weight=s.weight) for s in specs},
+        tenant_capacity_per_s=1.5 * total_rate,
+        tenant_capacity_burst=max(1.0, 0.075 * total_rate),
+    )
+    engine = WorkloadEngine(
+        config=EngineConfig(servers=96),
+        admission=admission,
+        weights={s.name: s.weight for s in specs},
+        seed=args.seed,
+    )
+    import time as _time
+
+    t0 = _time.perf_counter()
+    report = engine.run(trace)
+    elapsed = _time.perf_counter() - t0
+
+    failures = []
+    if not report.accounting_exact:
+        failures.append(
+            f"inexact accounting: {report.accounting_detail}"
+        )
+    if report.total_arrivals < 0.9 * target:
+        failures.append(
+            f"trace produced only {report.total_arrivals} arrivals "
+            f"(target {target})"
+        )
+    if args.json:
+        import json
+
+        out = report.as_dict()
+        out["engine_wall_s"] = elapsed
+        print(json.dumps(out, indent=2))
+    else:
+        rate = report.total_arrivals / elapsed if elapsed else 0.0
+        print(
+            f"workload: {report.total_arrivals:,} arrivals over "
+            f"{report.duration_s:.0f}s of trace time -> "
+            f"{report.total_admitted:,} admitted, "
+            f"{report.total_rejected:,} rejected "
+            f"({elapsed:.1f}s wall, {rate:,.0f} req/s through the engine)"
+        )
+        print(
+            f"{'tenant':<12} {'arrivals':>9} {'admitted':>9} "
+            f"{'rejected':>9} {'borrowed':>9} {'p99':>9} {'goodput':>9}"
+        )
+        for name, row in report.tenants.items():
+            print(
+                f"{name:<12} {row.arrivals:>9,} {row.admitted:>9,} "
+                f"{row.rejected:>9,} {row.borrowed:>9,} "
+                f"{row.p99_ms:>7.1f}ms {row.goodput_per_s:>7.1f}/s"
+            )
+        print(
+            "accounting: "
+            + ("exact" if report.accounting_exact else "INEXACT")
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+def _isolation_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro isolation",
+        description=(
+            "Tenant-isolation gate: >= 1M DES + >= 100k live requests "
+            "with exact per-tenant accounting; an abuser at 10x its "
+            "quota must not degrade a compliant tenant's p99 by > 25% "
+            "nor its goodput by > 5% (see docs/WORKLOAD.md)."
+        ),
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="scaled-down volume floors (same phases and gates), for CI",
+    )
+    parser.add_argument(
+        "--record",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write the human-readable report to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    from .experiments.isolation import (
+        IsolationExperimentConfig,
+        check_isolation,
+        format_isolation,
+        run_isolation,
+    )
+
+    config = IsolationExperimentConfig(seed=args.seed, smoke=args.smoke)
+    results = run_isolation(config)
+    report = format_isolation(results)
+    if args.json:
+        import json
+
+        print(json.dumps(results, indent=2))
+    else:
+        print(report)
+
+    failures = check_isolation(results)
+    if args.record:
+        from pathlib import Path
+
+        record = Path(args.record)
+        record.parent.mkdir(parents=True, exist_ok=True)
+        lines = [report]
+        lines.extend(f"FAIL: {failure}" for failure in failures)
+        record.write_text("\n".join(lines) + "\n")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "table1": _table1,
     "fig2": _fig2,
@@ -620,6 +828,10 @@ def main(argv=None) -> int:
         return _cluster_main(argv[1:])
     if argv and argv[0] == "autoscale":
         return _autoscale_main(argv[1:])
+    if argv and argv[0] == "workload":
+        return _workload_main(argv[1:])
+    if argv and argv[0] == "isolation":
+        return _isolation_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",

@@ -73,7 +73,7 @@ from ..service.messages import (
 )
 from ..service.model_registry import ModelEntry
 from ..service.server import IdempotencyCache
-from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.metrics import BoundedLabels, MetricsRegistry
 from .clock import Clock, MonotonicClock, wait_until
 from .hashing import place
 from .health import STATUS_RANK, HealthConfig, ReplicaHealth
@@ -116,6 +116,9 @@ class RouterConfig:
     #: work to finish before removing the replica anyway.
     drain_timeout_s: float = 30.0
     drain_poll_interval_s: float = 0.005
+    #: distinct tenant ids that get their own router metric series before
+    #: novel tenants fold into the ``__other__`` overflow series.
+    max_tenant_series: int = 256
 
     def __post_init__(self) -> None:
         if self.replication_factor < 1:
@@ -130,6 +133,8 @@ class RouterConfig:
             raise ValueError("drain_timeout_s must be positive")
         if self.drain_poll_interval_s <= 0:
             raise ValueError("drain_poll_interval_s must be positive")
+        if self.max_tenant_series < 1:
+            raise ValueError("max_tenant_series must be >= 1")
 
 
 class _RegistryView:
@@ -220,6 +225,10 @@ class ServiceRouter:
         self._ids = itertools.count(1)
         self._rr = itertools.count()
         self._dedup = IdempotencyCache()
+        #: bounded label space for tenant-keyed router metrics — tenant
+        #: ids are caller-controlled, so unbounded cardinality must land
+        #: in the ``__other__`` overflow series, not the registry.
+        self._tenant_labels = BoundedLabels(self.config.max_tenant_series)
 
     def _make_breaker(self) -> CircuitBreaker:
         return CircuitBreaker(
@@ -317,7 +326,14 @@ class ServiceRouter:
 
         Built on :meth:`~repro.telemetry.metrics.MetricsRegistry.merge`,
         so per-replica latency histograms aggregate into one cluster-wide
-        distribution with exact bucket counts.
+        distribution with exact bucket counts.  When any request carried
+        a tenant id, the snapshot also carries a ``"tenants"`` section:
+        per tenant (bounded label space; late novel tenants aggregate
+        under ``__other__``) the call/served/rejected counts, the shed
+        fraction, goodput (served fraction of calls), and the latency
+        quantiles of its served requests; plus the admission controller's
+        *exact* per-tenant accounting when a router controller is
+        installed.
         """
         merged = MetricsRegistry()
         for replica in list(self.replicas.values()):
@@ -330,7 +346,43 @@ class ServiceRouter:
         # here: totals never move backwards under dynamic topology.
         merged.merge(self._retired)
         merged.merge(self.metrics)
-        return merged.snapshot()
+        snap = merged.snapshot()
+        tenants = self._tenant_summary(snap)
+        if tenants:
+            snap["tenants"] = tenants
+        return snap
+
+    def _tenant_summary(self, snap: Dict[str, Dict]) -> Dict[str, Dict]:
+        """Fold tenant-labelled series into one per-tenant summary."""
+        counters = snap["counters"]
+        histograms = snap["histograms"]
+        tenants: Dict[str, Dict] = {}
+        prefix = "router.tenant.calls."
+        for name, calls in counters.items():
+            if not name.startswith(prefix):
+                continue
+            t = name[len(prefix):]
+            served = counters.get(f"router.tenant.served.{t}", 0.0)
+            rejected = counters.get(f"router.tenant.rejected.{t}", 0.0)
+            entry: Dict[str, object] = {
+                "calls": calls,
+                "served": served,
+                "rejected": rejected,
+                "shed_fraction": rejected / calls if calls else 0.0,
+                "goodput": served / calls if calls else 0.0,
+            }
+            latency = histograms.get(f"router.tenant.latency_ms.{t}")
+            if latency is not None:
+                entry["latency_ms"] = {
+                    k: latency[k]
+                    for k in ("p50", "p95", "p99", "mean", "count")
+                    if k in latency
+                }
+            tenants[t] = entry
+        if self.admission is not None:
+            for t, stats in self.admission.tenant_stats().items():
+                tenants.setdefault(t, {})["admission"] = stats
+        return tenants
 
     # ------------------------------------------------------------------
     # Endpoint surface (mirrors EugeneService)
@@ -930,8 +982,19 @@ class ServiceRouter:
     def _routed(
         self, endpoint: str, request, handler: Callable[[], object]
     ):
-        """Common wrapper: router dedup + router admission gate."""
+        """Common wrapper: router dedup + router admission gate.
+
+        Tenant-carrying requests additionally feed per-tenant series
+        (calls / rejections / latency) through the bounded label space,
+        which is what :meth:`cluster_snapshot` summarises per tenant.
+        """
         self.metrics.counter(f"router.calls.{endpoint}").inc()
+        tenant = getattr(request, "tenant", None)
+        tlabel = (
+            self._tenant_labels.resolve(tenant) if tenant is not None else None
+        )
+        if tlabel is not None:
+            self.metrics.counter(f"router.tenant.calls.{tlabel}").inc()
         key = getattr(request, "idempotency_key", None)
         if key is not None:
             cached = self._dedup.get(endpoint, key)
@@ -940,12 +1003,18 @@ class ServiceRouter:
                     f"router.deduplicated.{endpoint}"
                 ).inc()
                 return cached
-        gate: Optional[Tuple[str, Optional[str]]] = None
+        gate: Optional[Tuple[str, Optional[str], Optional[str]]] = None
         if self.admission is not None:
             model_id = getattr(request, "model_id", None)
-            decision = self.admission.admit(endpoint, model_id=model_id)
+            decision = self.admission.admit(
+                endpoint, model_id=model_id, tenant=tenant
+            )
             if not decision.admitted:
                 self.metrics.counter(f"router.rejected.{endpoint}").inc()
+                if tlabel is not None:
+                    self.metrics.counter(
+                        f"router.tenant.rejected.{tlabel}"
+                    ).inc()
                 return RejectedResponse(
                     endpoint=endpoint,
                     reason=decision.reason,
@@ -956,12 +1025,23 @@ class ServiceRouter:
                         f"after {decision.retry_after_s:.3g}s"
                     ),
                 )
-            gate = (endpoint, model_id)
+            gate = (endpoint, model_id, tenant)
+        start = time.perf_counter() if tlabel is not None else 0.0
         try:
             response = handler()
         finally:
             if gate is not None:
-                self.admission.release(gate[0], model_id=gate[1])
+                self.admission.release(
+                    gate[0], model_id=gate[1], tenant=gate[2]
+                )
+        if tlabel is not None:
+            if isinstance(response, RejectedResponse):
+                self.metrics.counter(f"router.tenant.rejected.{tlabel}").inc()
+            else:
+                self.metrics.counter(f"router.tenant.served.{tlabel}").inc()
+                self.metrics.histogram(
+                    f"router.tenant.latency_ms.{tlabel}"
+                ).observe(1e3 * (time.perf_counter() - start))
         if key is not None and not isinstance(response, RejectedResponse):
             self._dedup.put(endpoint, key, response)
         return response

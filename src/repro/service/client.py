@@ -105,11 +105,16 @@ class EugeneClient:
         service: EugeneService,
         retry_policy: Optional[RetryPolicy] = None,
         breaker_factory: Callable[[], CircuitBreaker] = CircuitBreaker,
+        tenant: Optional[str] = None,
     ) -> None:
         self.service = service
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self._breaker_factory = breaker_factory
         self._breakers: Dict[str, CircuitBreaker] = {}
+        #: default tenant id stamped on every request this client builds
+        #: (an explicit ``tenant=`` on a call still wins); ``None`` leaves
+        #: requests un-tenanted.
+        self.tenant = tenant
 
     # ------------------------------------------------------------------
     # Resilience plumbing
@@ -193,11 +198,19 @@ class EugeneClient:
             request.idempotency_key = uuid.uuid4().hex
         return request
 
+    def _tenanted(self, kwargs: dict) -> dict:
+        """Stamp the client's default tenant onto a request's kwargs."""
+        if self.tenant is not None and "tenant" not in kwargs:
+            kwargs["tenant"] = self.tenant
+        return kwargs
+
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
     def train(self, inputs: np.ndarray, labels: np.ndarray, **kwargs) -> TrainResponse:
-        request = self._keyed(TrainRequest(inputs=inputs, labels=labels, **kwargs))
+        request = self._keyed(
+            TrainRequest(inputs=inputs, labels=labels, **self._tenanted(kwargs))
+        )
         return self._call("train", lambda: self.service.train(request))
 
     def label(
@@ -213,60 +226,77 @@ class EugeneClient:
             labeled_targets=labeled_targets,
             unlabeled_inputs=unlabeled_inputs,
             num_classes=num_classes,
-            **kwargs,
+            **self._tenanted(kwargs),
         )
         return self._call("label", lambda: self.service.label(request))
 
     def reduce(self, model_id: str, **kwargs) -> ReduceResponse:
-        request = self._keyed(ReduceRequest(model_id=model_id, **kwargs))
+        request = self._keyed(
+            ReduceRequest(model_id=model_id, **self._tenanted(kwargs))
+        )
         return self._call("reduce", lambda: self.service.reduce(request))
 
     def profile(self, model_id: str, **kwargs) -> ProfileResponse:
-        request = ProfileRequest(model_id=model_id, **kwargs)
+        request = ProfileRequest(model_id=model_id, **self._tenanted(kwargs))
         return self._call("profile", lambda: self.service.profile(request))
 
-    def delete(self, model_id: str, cascade: bool = False) -> DeleteResponse:
-        request = self._keyed(DeleteRequest(model_id=model_id, cascade=cascade))
+    def delete(self, model_id: str, cascade: bool = False, **kwargs) -> DeleteResponse:
+        request = self._keyed(
+            DeleteRequest(
+                model_id=model_id, cascade=cascade, **self._tenanted(kwargs)
+            )
+        )
         return self._call("delete", lambda: self.service.delete(request))
 
     def calibrate(
         self, model_id: str, inputs: np.ndarray, labels: np.ndarray, **kwargs
     ) -> CalibrateResponse:
         request = CalibrateRequest(
-            model_id=model_id, inputs=inputs, labels=labels, **kwargs
+            model_id=model_id, inputs=inputs, labels=labels,
+            **self._tenanted(kwargs),
         )
         return self._call("calibrate", lambda: self.service.calibrate(request))
 
     def infer(self, model_id: str, inputs: np.ndarray, **kwargs) -> InferResponse:
-        request = InferRequest(model_id=model_id, inputs=inputs, **kwargs)
+        request = InferRequest(
+            model_id=model_id, inputs=inputs, **self._tenanted(kwargs)
+        )
         return self._call("infer", lambda: self.service.infer(request))
 
     def train_deepsense(
         self, inputs: np.ndarray, labels: np.ndarray, **kwargs
     ) -> DeepSenseTrainResponse:
         request = self._keyed(
-            DeepSenseTrainRequest(inputs=inputs, labels=labels, **kwargs)
+            DeepSenseTrainRequest(
+                inputs=inputs, labels=labels, **self._tenanted(kwargs)
+            )
         )
         return self._call(
             "train_deepsense", lambda: self.service.train_deepsense(request)
         )
 
     def classify(self, model_id: str, inputs: np.ndarray, **kwargs) -> ClassifyResponse:
-        request = ClassifyRequest(model_id=model_id, inputs=inputs, **kwargs)
+        request = ClassifyRequest(
+            model_id=model_id, inputs=inputs, **self._tenanted(kwargs)
+        )
         return self._call("classify", lambda: self.service.classify(request))
 
     def train_estimator(
         self, inputs: np.ndarray, targets: np.ndarray, **kwargs
     ) -> EstimatorTrainResponse:
         request = self._keyed(
-            EstimatorTrainRequest(inputs=inputs, targets=targets, **kwargs)
+            EstimatorTrainRequest(
+                inputs=inputs, targets=targets, **self._tenanted(kwargs)
+            )
         )
         return self._call(
             "train_estimator", lambda: self.service.train_estimator(request)
         )
 
     def estimate(self, model_id: str, inputs: np.ndarray, **kwargs) -> EstimateResponse:
-        request = EstimateRequest(model_id=model_id, inputs=inputs, **kwargs)
+        request = EstimateRequest(
+            model_id=model_id, inputs=inputs, **self._tenanted(kwargs)
+        )
         return self._call("estimate", lambda: self.service.estimate(request))
 
 

@@ -35,14 +35,40 @@ def _validate_idempotency_key(key: Optional[str]) -> None:
         raise ValueError("idempotency_key must be a non-empty string when given")
 
 
+def _validate_tenant(tenant: Optional[str]) -> None:
+    """Tenant ids are optional, but never empty or non-string.
+
+    The id rides the request end-to-end (client → router → admission →
+    telemetry) so per-tenant quotas and accounting can attribute it; a
+    request without one is admitted under the controller's un-tenanted
+    path.
+    """
+    if tenant is None:
+        return
+    if not isinstance(tenant, str) or not tenant:
+        raise ValueError("tenant must be a non-empty string when given")
+
+
 def _require_finite(name: str, values: np.ndarray) -> None:
     """Reject NaN/inf payloads at the API boundary.
 
     A NaN smuggled into a request poisons everything downstream (softmax,
     confidence comparisons, GP fits) silently; one ``isfinite`` pass per
-    request is cheap next to any endpoint's real work.
+    request is cheap next to any endpoint's real work.  The check runs on
+    the array's native dtype — integer payloads are finite by
+    construction and float payloads need no float64 copy (the old
+    ``asarray(..., dtype=float64)`` doubled the memory traffic of every
+    float32 request on the hot path).
     """
-    if not np.all(np.isfinite(np.asarray(values, dtype=np.float64))):
+    arr = np.asarray(values)
+    kind = arr.dtype.kind
+    if kind in "iub":
+        return
+    if kind == "f":
+        if not np.isfinite(arr).all():
+            raise ValueError(f"{name} must be finite (no NaN/inf values)")
+        return
+    if not np.all(np.isfinite(np.asarray(arr, dtype=np.float64))):
         raise ValueError(f"{name} must be finite (no NaN/inf values)")
 
 
@@ -59,9 +85,12 @@ class TrainRequest:
     name: str = "model"
     #: dedup handle for safe retries of this non-idempotent request.
     idempotency_key: Optional[str] = None
+    #: multi-tenant attribution/quota id; ``None`` = un-tenanted.
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         _validate_idempotency_key(self.idempotency_key)
+        _validate_tenant(self.tenant)
         if len(self.inputs) != len(self.labels):
             raise ValueError("inputs and labels must have the same length")
         if len(self.inputs) == 0:
@@ -93,8 +122,11 @@ class LabelRequest:
     num_classes: int
     rounds: int = 60
     method: str = "sensegan"  # or "self-training"
+    #: multi-tenant attribution/quota id; ``None`` = un-tenanted.
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
+        _validate_tenant(self.tenant)
         if self.method not in ("sensegan", "self-training"):
             raise ValueError(f"unknown labeling method {self.method!r}")
         if self.num_classes < 2:
@@ -125,9 +157,12 @@ class ReduceRequest:
     epochs: int = 4
     #: dedup handle for safe retries of this non-idempotent request.
     idempotency_key: Optional[str] = None
+    #: multi-tenant attribution/quota id; ``None`` = un-tenanted.
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         _validate_idempotency_key(self.idempotency_key)
+        _validate_tenant(self.tenant)
         if self.width_fraction is not None and not 0.0 < self.width_fraction <= 1.0:
             raise ValueError("width_fraction must be in (0, 1] when given")
         if self.max_parameters is not None and self.max_parameters < 1:
@@ -154,6 +189,11 @@ class ProfileRequest:
 
     model_id: str
     normalize: bool = False
+    #: multi-tenant attribution/quota id; ``None`` = un-tenanted.
+    tenant: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        _validate_tenant(self.tenant)
 
 
 @dataclass
@@ -170,8 +210,11 @@ class CalibrateRequest:
     inputs: np.ndarray
     labels: np.ndarray
     epochs: int = 3
+    #: multi-tenant attribution/quota id; ``None`` = un-tenanted.
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
+        _validate_tenant(self.tenant)
         if len(self.inputs) != len(self.labels):
             raise ValueError("inputs and labels must have the same length")
         if self.epochs < 1:
@@ -225,9 +268,12 @@ class DeleteRequest:
     cascade: bool = False
     #: dedup handle for safe retries of this non-idempotent request.
     idempotency_key: Optional[str] = None
+    #: multi-tenant attribution/quota id; ``None`` = un-tenanted.
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         _validate_idempotency_key(self.idempotency_key)
+        _validate_tenant(self.tenant)
         if not self.model_id:
             raise ValueError("model_id must not be empty")
 
@@ -256,8 +302,11 @@ class InferRequest:
     #: in-runtime queue, shedding or degrading the lowest-expected-utility
     #: tasks of this batch.  ``None`` (default) = serve everything.
     admission: Optional[AdmissionConfig] = None
+    #: multi-tenant attribution/quota id; ``None`` = un-tenanted.
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
+        _validate_tenant(self.tenant)
         if self.latency_constraint_s <= 0:
             raise ValueError("latency constraint must be positive")
         if self.lookahead < 1:
@@ -318,9 +367,12 @@ class DeepSenseTrainRequest:
     name: str = "deepsense"
     #: dedup handle for safe retries of this non-idempotent request.
     idempotency_key: Optional[str] = None
+    #: multi-tenant attribution/quota id; ``None`` = un-tenanted.
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         _validate_idempotency_key(self.idempotency_key)
+        _validate_tenant(self.tenant)
         if len(self.inputs) != len(self.labels):
             raise ValueError("inputs and labels must align")
         if len(self.inputs) == 0:
@@ -353,8 +405,11 @@ class ClassifyRequest:
     #: when set, inputs are classified in chunks of this size — bounds peak
     #: memory of the im2col buffers for large requests.
     micro_batch: Optional[int] = None
+    #: multi-tenant attribution/quota id; ``None`` = un-tenanted.
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
+        _validate_tenant(self.tenant)
         if self.micro_batch is not None and self.micro_batch < 1:
             raise ValueError("micro_batch must be >= 1 when given")
         if len(self.inputs) == 0:
@@ -389,9 +444,12 @@ class EstimatorTrainRequest:
     name: str = "estimator"
     #: dedup handle for safe retries of this non-idempotent request.
     idempotency_key: Optional[str] = None
+    #: multi-tenant attribution/quota id; ``None`` = un-tenanted.
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         _validate_idempotency_key(self.idempotency_key)
+        _validate_tenant(self.tenant)
         if len(self.inputs) != len(self.targets):
             raise ValueError("inputs and targets must align")
         if len(self.inputs) == 0:
@@ -422,8 +480,11 @@ class EstimateRequest:
     inputs: np.ndarray
     #: central interval mass, e.g. 0.9 for a 90% interval.
     confidence_level: float = 0.9
+    #: multi-tenant attribution/quota id; ``None`` = un-tenanted.
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
+        _validate_tenant(self.tenant)
         if not 0.0 < self.confidence_level < 1.0:
             raise ValueError("confidence_level must be in (0, 1)")
         if len(self.inputs) == 0:

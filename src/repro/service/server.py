@@ -81,7 +81,8 @@ def _admission_gate(endpoint: str) -> Callable[[_F], _F]:
             if controller is None:
                 return fn(self, request, *args, **kwargs)
             model_id = getattr(request, "model_id", None)
-            decision = controller.admit(endpoint, model_id=model_id)
+            tenant = getattr(request, "tenant", None)
+            decision = controller.admit(endpoint, model_id=model_id, tenant=tenant)
             if not decision.admitted:
                 return RejectedResponse(
                     endpoint=endpoint,
@@ -96,7 +97,7 @@ def _admission_gate(endpoint: str) -> Callable[[_F], _F]:
             try:
                 return fn(self, request, *args, **kwargs)
             finally:
-                controller.release(endpoint, model_id=model_id)
+                controller.release(endpoint, model_id=model_id, tenant=tenant)
 
         return wrapper  # type: ignore[return-value]
 

@@ -38,7 +38,7 @@ from contextlib import contextmanager
 from typing import Callable, Iterator, Optional
 
 from .export import render_text, to_dict, to_json
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import BoundedLabels, Counter, Gauge, Histogram, MetricsRegistry
 from .trace import (
     ADMISSION_REJECT,
     ADMIT,
@@ -122,23 +122,42 @@ def timed(endpoint: str) -> Callable:
     check on top of the call — nothing is recorded and no clock is read.
     """
 
+    requests_name = f"service.requests.{endpoint}"
+    errors_name = f"service.errors.{endpoint}"
+    latency_name = f"service.latency_ms.{endpoint}"
+
     def decorate(fn: Callable) -> Callable:
+        # Per-session instrument cache: registry.counter()/histogram()
+        # take the registry lock on every lookup; the decorator resolves
+        # its three instruments once per session instead of per request.
+        cache: dict = {}
+
         @functools.wraps(fn)
         def wrapper(*args, **kwargs):
             tel = _session
             if tel is None:
                 return fn(*args, **kwargs)
+            instruments = cache.get("i")
+            if instruments is None or cache.get("tel") is not tel:
+                instruments = (
+                    tel.registry.counter(requests_name),
+                    tel.registry.counter(errors_name),
+                    tel.registry.histogram(latency_name),
+                )
+                cache["tel"] = tel
+                cache["i"] = instruments
+            requests, errors, latency = instruments
             # Counted on entry so a summary built *inside* the endpoint
             # (InferResponse.metrics) already includes this request.
-            tel.registry.counter(f"service.requests.{endpoint}").inc()
+            requests.inc()
             start = time.perf_counter()
             try:
                 result = fn(*args, **kwargs)
             except Exception:
-                tel.registry.counter(f"service.errors.{endpoint}").inc()
+                errors.inc()
                 raise
             elapsed_ms = 1e3 * (time.perf_counter() - start)
-            tel.registry.histogram(f"service.latency_ms.{endpoint}").observe(elapsed_ms)
+            latency.observe(elapsed_ms)
             return result
 
         return wrapper
@@ -149,6 +168,7 @@ def timed(endpoint: str) -> Callable:
 __all__ = [
     "Telemetry",
     "MetricsRegistry",
+    "BoundedLabels",
     "Counter",
     "Gauge",
     "Histogram",

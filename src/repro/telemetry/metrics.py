@@ -325,6 +325,57 @@ class Histogram:
         self._lock = threading.Lock()
 
 
+class BoundedLabels:
+    """A bounded label space with an overflow bucket.
+
+    Metric names in this repo embed identifiers (``admission.rejected.
+    {key}``, per-replica metrics) — fine while keys are endpoints or model
+    ids, but tenant ids are caller-controlled and unbounded: a million
+    distinct tenants would mint a million registry instruments and OOM
+    the process.  ``resolve`` admits the first ``capacity`` distinct
+    labels verbatim and maps every later novel label onto ``overflow``
+    (default ``__other__``), so the registry's cardinality is bounded by
+    construction while the heavy hitters that arrive early keep their own
+    series.
+    """
+
+    __slots__ = ("capacity", "overflow", "_known", "_overflowed", "_lock")
+
+    def __init__(self, capacity: int, overflow: str = "__other__") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.overflow = overflow
+        self._known: Dict[str, str] = {}
+        self._overflowed = 0
+        self._lock = threading.Lock()
+
+    def resolve(self, label: str) -> str:
+        """The bounded form of ``label`` (itself, or the overflow bucket)."""
+        known = self._known.get(label)
+        if known is not None:
+            return known
+        with self._lock:
+            known = self._known.get(label)
+            if known is not None:
+                return known
+            if len(self._known) < self.capacity:
+                self._known[label] = label
+                return label
+            self._overflowed += 1
+            return self.overflow
+
+    @property
+    def overflowed(self) -> int:
+        """Distinct novel labels that landed in the overflow bucket."""
+        with self._lock:
+            return self._overflowed
+
+    def known(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._known)
+
+
 class MetricsRegistry:
     """Thread-safe get-or-create home of every named instrument.
 

@@ -1,0 +1,124 @@
+"""Tenant populations for workload generation.
+
+A :class:`TenantSpec` describes one tenant's traffic: base arrival rate,
+admission fair-share weight, endpoint mix over all 11 service endpoints,
+and the shape knobs the trace generator modulates (diurnal cycle, MMPP
+bursts, flash-crowd membership).  Specs are pure data — the same specs
+drive the DES engine and the real-cluster driver, and translate directly
+into :class:`~repro.admission.TenantQuota` entries for the controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+#: Every endpoint of the Eugene service API, in one canonical order —
+#: the trace encodes endpoints as indices into this tuple.
+ENDPOINTS: Tuple[str, ...] = (
+    "train",
+    "train_deepsense",
+    "train_estimator",
+    "classify",
+    "label",
+    "reduce",
+    "profile",
+    "calibrate",
+    "estimate",
+    "infer",
+    "delete",
+)
+
+
+def uniform_mix() -> Dict[str, float]:
+    """An even endpoint mix over all 11 endpoints."""
+    p = 1.0 / len(ENDPOINTS)
+    return {endpoint: p for endpoint in ENDPOINTS}
+
+
+def serving_mix() -> Dict[str, float]:
+    """A read-heavy mix shaped like a serving tier in steady state.
+
+    Inference-style endpoints dominate; lifecycle endpoints (train,
+    reduce, delete, …) trickle, mirroring how a deployed model is
+    trained once and served many times.  Still covers all 11 endpoints.
+    """
+    return {
+        "classify": 0.38,
+        "estimate": 0.27,
+        "profile": 0.15,
+        "infer": 0.10,
+        "calibrate": 0.02,
+        "label": 0.02,
+        "reduce": 0.02,
+        "delete": 0.015,
+        "train_estimator": 0.015,
+        "train": 0.005,
+        "train_deepsense": 0.005,
+    }
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's traffic description.
+
+    ``rate_per_s`` is the base mean arrival rate; the trace generator
+    modulates it with the diurnal cycle, burst state and any flash crowd
+    the tenant's ``flash_group`` joins.  ``weight`` is the tenant's
+    admission fair-share weight (see :class:`~repro.admission.
+    TenantQuota`).
+    """
+
+    name: str
+    rate_per_s: float
+    weight: float = 1.0
+    endpoint_mix: Mapping[str, float] = field(default_factory=serving_mix)
+    #: relative diurnal swing in [0, 1]: rate(t) scales by
+    #: ``1 + amplitude * sin(2π t / period + phase)``.
+    diurnal_amplitude: float = 0.0
+    diurnal_period_s: float = 86400.0
+    diurnal_phase: float = 0.0
+    #: MMPP burst modulation: while in the burst state the rate is
+    #: multiplied by ``burst_multiplier``; the tenant spends
+    #: ``burst_fraction`` of its time there in expectation, in bursts of
+    #: mean length ``burst_mean_s``.
+    burst_multiplier: float = 1.0
+    burst_fraction: float = 0.0
+    burst_mean_s: float = 10.0
+    #: flash-crowd membership: tenants sharing a group name spike
+    #: together when a :class:`~repro.workload.trace.FlashCrowd` with
+    #: that group fires (correlated demand).
+    flash_group: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must not be empty")
+        if self.rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+        if not 0.0 <= self.diurnal_amplitude <= 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1]")
+        if self.diurnal_period_s <= 0:
+            raise ValueError("diurnal_period_s must be positive")
+        if self.burst_multiplier < 1.0:
+            raise ValueError("burst_multiplier must be >= 1")
+        if not 0.0 <= self.burst_fraction < 1.0:
+            raise ValueError("burst_fraction must be in [0, 1)")
+        if self.burst_mean_s <= 0:
+            raise ValueError("burst_mean_s must be positive")
+        mix = dict(self.endpoint_mix)
+        if not mix:
+            raise ValueError("endpoint_mix must not be empty")
+        unknown = set(mix) - set(ENDPOINTS)
+        if unknown:
+            raise ValueError(f"unknown endpoints in mix: {sorted(unknown)}")
+        total = sum(mix.values())
+        if total <= 0 or any(p < 0 for p in mix.values()):
+            raise ValueError("endpoint_mix must be non-negative with mass")
+
+    def normalized_mix(self) -> Tuple[float, ...]:
+        """The mix as probabilities aligned with :data:`ENDPOINTS`."""
+        mix = dict(self.endpoint_mix)
+        total = sum(mix.values())
+        return tuple(mix.get(endpoint, 0.0) / total for endpoint in ENDPOINTS)

@@ -1,0 +1,225 @@
+"""Per-tenant quotas: weighted-fair shares, borrowing, exact accounting."""
+
+import pytest
+
+from repro import telemetry
+from repro.admission import (
+    NO_TENANT,
+    OTHER_TENANTS,
+    TENANT_QUOTA,
+    AdmissionController,
+    EndpointLimits,
+    TenantQuota,
+)
+
+
+def make_controller(**kwargs):
+    kwargs.setdefault(
+        "per_tenant",
+        {"gold": TenantQuota(weight=3.0), "bronze": TenantQuota(weight=1.0)},
+    )
+    kwargs.setdefault("tenant_capacity_per_s", 4.0)
+    kwargs.setdefault("tenant_capacity_burst", 1.0)
+    return AdmissionController(**kwargs)
+
+
+def saturate(controller, tenants, duration_s, step_s=0.01, start_s=0.0):
+    """Every tenant attempts one admit per step; returns admit counts."""
+    admitted = {t: 0 for t in tenants}
+    steps = int(duration_s / step_s)
+    for i in range(steps):
+        now = start_s + i * step_s
+        for tenant in tenants:
+            decision = controller.admit("infer", tenant=tenant, now=now)
+            if decision.admitted:
+                admitted[tenant] += 1
+                controller.release("infer", tenant=tenant)
+    return admitted
+
+
+class TestTenantQuotaValidation:
+    def test_weight_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TenantQuota(weight=0.0)
+
+    def test_burst_requires_rate(self):
+        with pytest.raises(ValueError):
+            TenantQuota(burst=5.0)
+
+    def test_capacity_burst_validated(self):
+        with pytest.raises(ValueError):
+            AdmissionController(
+                tenant_capacity_per_s=10.0, tenant_capacity_burst=0.5
+            )
+
+
+class TestWeightedFairShares:
+    def test_guaranteed_share_proportional_to_weight(self):
+        controller = make_controller()
+        admitted = saturate(controller, ["gold", "bronze"], duration_s=50.0)
+        # Capacity 4/s split 3:1 -> gold ~150, bronze ~50 over 50 s.
+        assert admitted["gold"] == pytest.approx(150, abs=8)
+        assert admitted["bronze"] == pytest.approx(50, abs=6)
+
+    def test_total_admitted_bounded_by_capacity(self):
+        # The debt-charged shared pool keeps guaranteed + borrowed
+        # admissions within the configured aggregate capacity.
+        controller = make_controller()
+        admitted = saturate(controller, ["gold", "bronze"], duration_s=50.0)
+        own_bursts = 3.0 + 1.0  # per-tenant bucket initial fills
+        assert sum(admitted.values()) <= 4.0 * 50.0 + 1.0 + own_bursts
+
+    def test_idle_share_is_borrowable(self):
+        controller = make_controller()
+        admitted = saturate(controller, ["bronze"], duration_s=50.0)
+        # Alone, bronze reaches the full capacity, not just its 1/s share.
+        assert admitted["bronze"] == pytest.approx(200, abs=10)
+        stats = controller.tenant_stats()["bronze"]
+        assert stats["borrowed"] > 0
+        assert stats["admitted"] == admitted["bronze"]
+
+    def test_borrowing_disabled_when_not_work_conserving(self):
+        controller = make_controller(work_conserving=False)
+        admitted = saturate(controller, ["bronze"], duration_s=50.0)
+        assert admitted["bronze"] == pytest.approx(50, abs=6)
+        assert controller.tenant_stats()["bronze"]["borrowed"] == 0
+
+    def test_rejection_reason_and_retry_after(self):
+        controller = make_controller()
+        seen_reject = None
+        for i in range(200):
+            decision = controller.admit(
+                "infer", tenant="bronze", now=i * 0.001
+            )
+            if decision.admitted:
+                controller.release("infer", tenant="bronze")
+            else:
+                seen_reject = decision
+        assert seen_reject is not None
+        assert seen_reject.reason == TENANT_QUOTA
+        assert seen_reject.retry_after_s > 0
+        assert seen_reject.key == "tenant:bronze"
+
+    def test_borrowed_flag_on_decisions(self):
+        controller = make_controller()
+        borrowed = 0
+        for i in range(400):
+            decision = controller.admit(
+                "infer", tenant="bronze", now=i * 0.25
+            )
+            if decision.admitted:
+                borrowed += decision.borrowed
+                controller.release("infer", tenant="bronze")
+        assert borrowed > 0
+
+
+class TestTenantCeilingAndConcurrency:
+    def test_rate_ceiling_caps_borrowing(self):
+        controller = AdmissionController(
+            per_tenant={
+                "capped": TenantQuota(weight=1.0, rate_per_s=2.0, burst=1),
+                "other": TenantQuota(weight=1.0),
+            },
+            tenant_capacity_per_s=100.0,
+            tenant_capacity_burst=1.0,
+        )
+        admitted = saturate(controller, ["capped"], duration_s=50.0)
+        # Borrowable capacity is huge, but the per-tenant ceiling wins.
+        assert admitted["capped"] == pytest.approx(100, abs=6)
+
+    def test_tenant_concurrency_held_until_release(self):
+        controller = AdmissionController(
+            per_tenant={"t": TenantQuota(max_concurrent=1)},
+            tenant_capacity_per_s=1000.0,
+        )
+        assert controller.admit("infer", tenant="t", now=0.0).admitted
+        blocked = controller.admit("infer", tenant="t", now=0.001)
+        assert not blocked.admitted
+        assert blocked.reason == TENANT_QUOTA
+        controller.release("infer", tenant="t")
+        assert controller.admit("infer", tenant="t", now=0.002).admitted
+
+    def test_tenant_slot_rolled_back_on_endpoint_rejection(self):
+        controller = AdmissionController(
+            per_endpoint={"infer": EndpointLimits(max_concurrent=1)},
+            per_tenant={"t": TenantQuota(max_concurrent=1)},
+            tenant_capacity_per_s=1000.0,
+        )
+        assert controller.admit("infer", tenant="t", now=0.0).admitted
+        # Endpoint slot is taken by the first request; this rejection
+        # must not leak the tenant's concurrency slot.
+        rejected = controller.admit("infer", tenant="t", now=0.001)
+        assert not rejected.admitted
+        controller.release("infer", tenant="t")
+        assert controller.admit("infer", tenant="t", now=0.002).admitted
+
+
+class TestUndeclaredTenants:
+    def test_undeclared_borrow_only(self):
+        controller = make_controller()
+        admitted = saturate(controller, ["stranger"], duration_s=50.0)
+        # A stranger rides the idle pool but has no guaranteed share.
+        assert 0 < admitted["stranger"] <= 4.0 * 50.0 + 1.0
+
+    def test_undeclared_rejected_when_declared_saturate(self):
+        controller = make_controller()
+        admitted = saturate(
+            controller, ["gold", "bronze", "stranger"], duration_s=50.0
+        )
+        # Declared tenants keep their guarantees; the stranger gets at
+        # most the capacity the declared population leaves unused.
+        assert admitted["gold"] == pytest.approx(150, abs=8)
+        assert admitted["bronze"] == pytest.approx(50, abs=6)
+        assert admitted["stranger"] < 0.2 * (4.0 * 50.0)
+
+    def test_untenanted_requests_skip_the_tenant_gate(self):
+        controller = make_controller()
+        for i in range(100):
+            assert controller.admit("infer", now=i * 1e-4).admitted
+
+
+class TestExactAccounting:
+    def test_stats_sum_to_attempts(self):
+        controller = make_controller()
+        attempts = {"gold": 0, "bronze": 0, "stranger": 0}
+        for i in range(3000):
+            tenant = ("gold", "bronze", "stranger")[i % 3]
+            attempts[tenant] += 1
+            decision = controller.admit("infer", tenant=tenant, now=i * 0.003)
+            if decision.admitted:
+                controller.release("infer", tenant=tenant)
+        stats = controller.tenant_stats()
+        for tenant, n in attempts.items():
+            assert stats[tenant]["admitted"] + stats[tenant]["rejected"] == n
+
+    def test_accounting_keys_bounded_with_overflow_bucket(self):
+        controller = AdmissionController(
+            tenant_capacity_per_s=1e9, max_tenant_keys=4
+        )
+        total = 0
+        for i in range(500):
+            controller.admit("infer", tenant=f"tenant-{i}", now=i * 1e-5)
+            total += 1
+        stats = controller.tenant_stats()
+        assert len(stats) <= 5  # 4 exact keys + __other__
+        assert OTHER_TENANTS in stats
+        counted = sum(s["admitted"] + s["rejected"] for s in stats.values())
+        assert counted == total
+
+    def test_telemetry_label_space_bounded(self):
+        controller = AdmissionController(
+            tenant_capacity_per_s=1e9, max_tenant_keys=8
+        )
+        with telemetry.session() as tel:
+            for i in range(200):
+                controller.admit("infer", tenant=f"t{i}", now=i * 1e-5)
+            names = [
+                name
+                for name in tel.registry.counters()
+                if name.startswith("admission.tenant_admitted.")
+            ]
+            assert 0 < len(names) <= 9  # 8 exact labels + the overflow
+
+    def test_no_tenant_constant_reserved(self):
+        assert NO_TENANT == "__none__"
+        assert OTHER_TENANTS == "__other__"

@@ -1,0 +1,72 @@
+"""BoundedLabels: high-cardinality label sets cannot grow the registry."""
+
+import pytest
+
+from repro import telemetry
+from repro.admission import AdmissionController
+from repro.telemetry.metrics import BoundedLabels
+
+
+class TestBoundedLabels:
+    def test_first_capacity_labels_verbatim(self):
+        labels = BoundedLabels(3)
+        assert [labels.resolve(x) for x in "abc"] == ["a", "b", "c"]
+        assert sorted(labels.known()) == ["a", "b", "c"]
+        assert labels.overflowed == 0
+
+    def test_novel_labels_past_capacity_collapse(self):
+        labels = BoundedLabels(2, overflow="__rest__")
+        labels.resolve("a")
+        labels.resolve("b")
+        assert labels.resolve("c") == "__rest__"
+        assert labels.resolve("d") == "__rest__"
+        # Known labels keep resolving verbatim after overflow begins.
+        assert labels.resolve("a") == "a"
+        assert labels.overflowed == 2
+
+    def test_repeat_overflow_label_counted_once_per_resolve(self):
+        labels = BoundedLabels(1)
+        labels.resolve("a")
+        for _ in range(5):
+            labels.resolve("z")
+        assert labels.overflowed == 5
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            BoundedLabels(0)
+
+    def test_million_distinct_labels_stay_bounded(self):
+        # The 1M-tenant regression: memory stays O(capacity), never O(N).
+        labels = BoundedLabels(128)
+        for i in range(1_000_000):
+            labels.resolve(f"tenant-{i}")
+        assert len(labels.known()) == 128
+        assert labels.overflowed == 1_000_000 - 128
+
+
+class TestRegistryCardinalityRegression:
+    def test_unbounded_tenant_population_bounded_counter_names(self):
+        controller = AdmissionController(
+            tenant_capacity_per_s=1e9, max_tenant_keys=16
+        )
+        with telemetry.session() as tel:
+            for i in range(50_000):
+                decision = controller.admit(
+                    "infer", tenant=f"tenant-{i}", now=i * 1e-6
+                )
+                if decision.admitted:
+                    controller.release("infer", tenant=f"tenant-{i}")
+            tenant_counters = [
+                name
+                for name in tel.registry.counters()
+                if name.startswith("admission.tenant_admitted.")
+            ]
+            # 16 exact labels + one overflow bucket, no matter how many
+            # distinct tenants pass through.
+            assert 0 < len(tenant_counters) <= 17
+            # Exact accounting is kept separately and stays complete.
+            stats = controller.tenant_stats()
+            counted = sum(
+                s["admitted"] + s["rejected"] for s in stats.values()
+            )
+            assert counted == 50_000

@@ -1,0 +1,146 @@
+"""Trace generation: determinism, tenant stability, shaped arrivals."""
+
+import numpy as np
+import pytest
+
+from repro.workload import ENDPOINTS, FlashCrowd, TenantSpec, generate_trace
+from repro.workload.tenants import serving_mix, uniform_mix
+
+
+def spec(name="t0", rate=200.0, **kwargs):
+    return TenantSpec(name=name, rate_per_s=rate, **kwargs)
+
+
+class TestTenantSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantSpec(name="", rate_per_s=1.0)
+        with pytest.raises(ValueError):
+            spec(rate=0.0)
+        with pytest.raises(ValueError):
+            spec(diurnal_amplitude=1.5)
+        with pytest.raises(ValueError):
+            spec(burst_multiplier=0.5)
+        with pytest.raises(ValueError):
+            spec(endpoint_mix={"teleport": 1.0})
+
+    def test_mixes_cover_all_endpoints(self):
+        assert len(ENDPOINTS) == 11
+        assert set(uniform_mix()) == set(ENDPOINTS)
+        assert set(serving_mix()) == set(ENDPOINTS)
+        assert sum(spec().normalized_mix()) == pytest.approx(1.0)
+
+    def test_normalized_mix_aligned_with_endpoints(self):
+        s = spec(endpoint_mix={"classify": 3.0, "delete": 1.0})
+        mix = s.normalized_mix()
+        assert mix[ENDPOINTS.index("classify")] == pytest.approx(0.75)
+        assert mix[ENDPOINTS.index("delete")] == pytest.approx(0.25)
+        assert sum(mix) == pytest.approx(1.0)
+
+
+class TestGenerateTrace:
+    def test_deterministic_in_seed(self):
+        specs = [spec("a"), spec("b", rate=120.0)]
+        one = generate_trace(specs, duration_s=20.0, seed=3)
+        two = generate_trace(specs, duration_s=20.0, seed=3)
+        other = generate_trace(specs, duration_s=20.0, seed=4)
+        assert np.array_equal(one.times, two.times)
+        assert np.array_equal(one.tenant_idx, two.tenant_idx)
+        assert np.array_equal(one.endpoint_idx, two.endpoint_idx)
+        assert not np.array_equal(one.times, other.times)
+
+    def test_sorted_and_parallel_arrays(self):
+        trace = generate_trace([spec("a"), spec("b")], duration_s=30.0, seed=0)
+        assert (np.diff(trace.times) >= 0).all()
+        assert len(trace.times) == len(trace.tenant_idx)
+        assert len(trace.times) == len(trace.endpoint_idx)
+        assert trace.times.max() <= 30.0
+        counts = trace.per_tenant_counts()
+        assert sum(counts.values()) == len(trace)
+
+    def test_adding_a_tenant_never_perturbs_another(self):
+        # The isolation experiment's bedrock: a tenant's arrivals are a
+        # pure function of (its name, seed, duration), independent of
+        # who else is in the population.
+        solo = generate_trace([spec("victim")], duration_s=25.0, seed=9)
+        crowd = generate_trace(
+            [spec("victim"), spec("abuser", rate=2000.0), spec("extra")],
+            duration_s=25.0,
+            seed=9,
+        )
+        mask = crowd.tenant_idx == crowd.tenant_names.index("victim")
+        assert np.array_equal(crowd.times[mask], solo.times)
+        assert np.array_equal(crowd.endpoint_idx[mask], solo.endpoint_idx)
+
+    def test_rate_scales_arrival_counts(self):
+        slow = generate_trace([spec(rate=50.0)], duration_s=40.0, seed=5)
+        fast = generate_trace([spec(rate=500.0)], duration_s=40.0, seed=5)
+        assert len(slow) == pytest.approx(2000, rel=0.15)
+        assert len(fast) == pytest.approx(20000, rel=0.05)
+
+    def test_diurnal_cycle_shapes_arrivals(self):
+        s = spec(
+            rate=400.0,
+            diurnal_amplitude=0.9,
+            diurnal_period_s=40.0,
+            diurnal_phase=0.0,
+        )
+        trace = generate_trace([s], duration_s=40.0, seed=2)
+        # sin > 0 over the first half period: the crest half must carry
+        # substantially more arrivals than the trough half.
+        crest = (trace.times < 20.0).sum()
+        trough = (trace.times >= 20.0).sum()
+        assert crest > 2.0 * trough
+
+    def test_flash_crowd_only_hits_its_group(self):
+        members = [
+            spec("in-a", flash_group="g"),
+            spec("in-b", flash_group="g"),
+            spec("out", flash_group=None),
+        ]
+        crowd = FlashCrowd(group="g", start_s=10.0, duration_s=10.0, multiplier=4.0)
+        trace = generate_trace(members, duration_s=30.0, seed=6, flash_crowds=(crowd,))
+        base = generate_trace(members, duration_s=30.0, seed=6)
+
+        def in_window(t, name):
+            mask = t.tenant_idx == t.tenant_names.index(name)
+            times = t.times[mask]
+            return ((times >= 10.0) & (times < 20.0)).sum()
+
+        assert in_window(trace, "in-a") > 2.5 * in_window(base, "in-a")
+        assert in_window(trace, "out") == in_window(base, "out")
+
+    def test_bursts_increase_dispersion(self):
+        calm = generate_trace([spec(rate=300.0)], duration_s=60.0, seed=8)
+        bursty = generate_trace(
+            [spec(rate=300.0, burst_multiplier=6.0, burst_fraction=0.1,
+                  burst_mean_s=2.0)],
+            duration_s=60.0,
+            seed=8,
+        )
+        # Index-of-dispersion of per-second counts: Poisson ~1, MMPP >> 1.
+        def dispersion(trace):
+            counts = np.bincount(trace.times.astype(int), minlength=60)
+            return counts.var() / counts.mean()
+
+        assert dispersion(calm) < 2.0
+        assert dispersion(bursty) > 3.0
+
+    def test_endpoint_mix_respected(self):
+        s = spec(rate=500.0, endpoint_mix={"classify": 0.9, "train": 0.1})
+        trace = generate_trace([s], duration_s=40.0, seed=1)
+        counts = trace.per_endpoint_counts()
+        total = sum(counts.values())
+        assert counts["classify"] / total == pytest.approx(0.9, abs=0.02)
+        assert counts["train"] / total == pytest.approx(0.1, abs=0.02)
+        assert counts["delete"] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_trace([], duration_s=10.0, seed=0)
+        with pytest.raises(ValueError):
+            generate_trace([spec("x"), spec("x")], duration_s=10.0, seed=0)
+        with pytest.raises(ValueError):
+            generate_trace([spec()], duration_s=0.0, seed=0)
+        with pytest.raises(ValueError):
+            FlashCrowd(group="g", start_s=0.0, duration_s=1.0, multiplier=0.5)
