@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos overload overload-smoke cluster cluster-proc autoscale autoscale-smoke workload workload-smoke isolation isolation-smoke bench bench-fast bench-telemetry bench-admission bench-cluster examples experiments clean
+.PHONY: install test chaos overload overload-smoke anytime anytime-smoke cluster cluster-proc autoscale autoscale-smoke workload workload-smoke isolation isolation-smoke bench bench-fast bench-telemetry bench-admission bench-cluster examples experiments clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -20,6 +20,19 @@ overload:
 overload-smoke:
 	$(PYTHON) -m pytest tests/admission tests/faults/test_overload_invariants.py -q
 	$(PYTHON) -m repro.cli overload --smoke --seed 0
+
+# Gen-2 anytime gate: exits non-zero unless gen-2 beats the current EDF and
+# utility policies on accrued utility at >=2x overload with zero late
+# responses.  Synthetic oracles — the gate is about scheduling dynamics,
+# not the trained model (same rationale as the overload smoke path).
+anytime:
+	$(PYTHON) -m pytest tests/scheduler -q
+	$(PYTHON) -m repro.cli anytime --smoke --seed 0 \
+		--record bench_results/anytime.txt
+
+anytime-smoke:
+	$(PYTHON) -m pytest tests/scheduler/test_gen2.py tests/scheduler/test_utility_conservation.py -q
+	$(PYTHON) -m repro.cli anytime --smoke --seed 0
 
 cluster:
 	$(PYTHON) -m pytest tests/cluster -q

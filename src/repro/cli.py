@@ -536,6 +536,70 @@ def _cluster_main(argv) -> int:
     return 1 if failures else 0
 
 
+def _anytime_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro anytime",
+        description=(
+            "Gen-2 anytime-serving gate: joint stage budgets + optional-"
+            "stage preemption + the anytime contract vs the current EDF "
+            "and utility policies at 2-3x overload (see docs/SCHEDULER.md)."
+        ),
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="use synthetic oracles instead of the trained benchmark "
+        "artifacts (seconds instead of minutes; the CI smoke path)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--tasks", type=int, default=None, help="override the task count"
+    )
+    parser.add_argument(
+        "--record",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write the human-readable report to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    from .experiments.anytime import (
+        AnytimeConfig,
+        check_anytime,
+        format_anytime,
+        run_anytime,
+    )
+
+    config = AnytimeConfig(seed=args.seed)
+    if args.tasks is not None:
+        config.num_tasks = args.tasks
+    results = run_anytime(config=config, synthetic=args.smoke)
+    report = format_anytime(results)
+    if args.json:
+        import json
+
+        print(json.dumps(results, indent=2))
+    else:
+        print(report)
+
+    failures = check_anytime(results)
+    if args.record:
+        from pathlib import Path
+
+        record = Path(args.record)
+        record.parent.mkdir(parents=True, exist_ok=True)
+        lines = [report]
+        lines.extend(f"FAIL: {failure}" for failure in failures)
+        record.write_text("\n".join(lines) + "\n")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
 def _autoscale_main(argv) -> int:
     parser = argparse.ArgumentParser(
         prog="repro autoscale",
@@ -824,6 +888,8 @@ def main(argv=None) -> int:
         return _chaos_main(argv[1:])
     if argv and argv[0] == "overload":
         return _overload_main(argv[1:])
+    if argv and argv[0] == "anytime":
+        return _anytime_main(argv[1:])
     if argv and argv[0] == "cluster":
         return _cluster_main(argv[1:])
     if argv and argv[0] == "autoscale":

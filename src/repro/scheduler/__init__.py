@@ -14,6 +14,10 @@ Components
   simulator used by the Fig. 4 experiments
 - :mod:`repro.scheduler.runtime` — thread-based real-time executor with the
   latency-constraint daemon, mirroring the paper's process-pool architecture
+- :mod:`repro.scheduler.gen2` — the gen-2 imprecise-computation scheduler:
+  joint per-task stage budgets by marginal utility per cost, preemption of
+  optional stages via tightening-only caps, and the anytime contract
+  (best-so-far at the deadline, never late) — see docs/SCHEDULER.md
 """
 
 from .arrivals import bursty_arrivals, constant_arrivals, poisson_arrivals
@@ -30,7 +34,15 @@ from .confidence import (
     ConstantSlopePredictor,
     GPConfidencePredictor,
 )
+from .gen2 import (
+    BudgetPlan,
+    Gen2Policy,
+    StageBid,
+    StageBudgetPlanner,
+    apply_stage_budgets,
+)
 from .policies import (
+    EDFPolicy,
     FIFOPolicy,
     RoundRobinPolicy,
     RTDeepIoTPolicy,
@@ -57,6 +69,12 @@ __all__ = [
     "RTDeepIoTPolicy",
     "RoundRobinPolicy",
     "FIFOPolicy",
+    "EDFPolicy",
+    "Gen2Policy",
+    "StageBudgetPlanner",
+    "StageBid",
+    "BudgetPlan",
+    "apply_stage_budgets",
     "PoolSimulator",
     "SimulationConfig",
     "EpisodeResult",

@@ -27,6 +27,14 @@ class SchedulingPolicy:
     """Interface: produce the next timeline of work items."""
 
     name: str = "base"
+    #: gen-2 protocol (:mod:`repro.scheduler.gen2`): a policy that jointly
+    #: plans per-task stage budgets sets this True and publishes its latest
+    #: allocation in ``last_budgets`` after every ``plan()`` call; the
+    #: simulator/runtime then apply those budgets as tightening-only stage
+    #: caps (preemption of optional stages).  Gen-1 policies leave both
+    #: untouched and are entirely unaffected.
+    plans_stage_budgets: bool = False
+    last_budgets: Optional[Dict[int, int]] = None
 
     def plan(self, tasks: Sequence[TaskView], now: float) -> List[PlanItem]:
         raise NotImplementedError  # pragma: no cover
@@ -169,4 +177,26 @@ class FIFOPolicy(SchedulingPolicy):
         oldest = min(runnable, key=lambda t: (t.arrival_time, t.task_id))
         return [
             (oldest.task_id, s) for s in range(oldest.stages_done, oldest.num_stages)
+        ]
+
+
+@dataclass
+class EDFPolicy(SchedulingPolicy):
+    """Earliest-deadline-first, running the most urgent task to the end.
+
+    The classic real-time baseline the gen-2 imprecise-computation
+    scheduler is gated against: optimal for unit-utility jobs on one
+    worker, but stage-blind — it spends capacity completing one task's
+    optional refinement while other tasks' mandatory prefixes starve.
+    """
+
+    name: str = field(default="EDF", init=False)
+
+    def plan(self, tasks: Sequence[TaskView], now: float) -> List[PlanItem]:
+        runnable = self._runnable(tasks)
+        if not runnable:
+            return []
+        urgent = min(runnable, key=lambda t: (t.deadline, t.arrival_time, t.task_id))
+        return [
+            (urgent.task_id, s) for s in range(urgent.stages_done, urgent.num_stages)
         ]

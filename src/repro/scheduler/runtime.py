@@ -68,6 +68,7 @@ from .. import faults, telemetry
 from ..admission import AdmissionConfig, expected_utility, select_shed
 from ..nn import functional as F
 from ..nn.resnet import StagedResNet
+from .gen2 import apply_stage_budgets
 from .policies import SchedulingPolicy
 from .task import StageOutcome, TaskRecord
 
@@ -100,6 +101,12 @@ class RuntimeConfig:
     #: early exit and shedding past the hard bound.  ``None`` (default)
     #: keeps the unbounded legacy behaviour — and the fast path untouched.
     admission: Optional[AdmissionConfig] = None
+    #: anytime-inference contract (gen-2 imprecise computations): a task
+    #: whose latency constraint expires with at least one completed stage is
+    #: *served* its best-so-far early-exit result at the deadline (degraded,
+    #: never late) instead of being evicted.  Only tasks that finished
+    #: nothing at all still count as deadline misses.
+    anytime: bool = False
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -132,6 +139,9 @@ class RuntimeTaskResult:
     #: dropped by admission control before receiving any service; a shed
     #: task has no outcomes and counts toward neither goodput nor misses.
     shed: bool = False
+    #: the anytime contract served this task's best-so-far early exit at
+    #: its deadline (a degraded answer, delivered on time — never late).
+    anytime_served: bool = False
 
     @property
     def prediction(self) -> Optional[int]:
@@ -289,6 +299,8 @@ class StagedInferenceRuntime:
         records: Dict[int, TaskRecord],
         admission: AdmissionConfig,
         tel,
+        now: float,
+        stage_time_s: float = 0.0,
     ) -> None:
         """Overload management over the submitted batch (before serving).
 
@@ -298,6 +310,12 @@ class StagedInferenceRuntime:
         ``degrade_queue_depth`` are capped at ``degrade_stage_cap`` stages
         (degrade-before-drop), composing with the runtime's existing
         graceful-degradation reporting.
+
+        ``now`` is the runtime's actual clock (seconds since the episode
+        started): the deadline-feasibility discount inside
+        :func:`expected_utility` compares it against task deadlines, so a
+        hard-coded 0.0 here mis-ranked near-deadline tasks and stamped
+        every shed/degrade trace event at t=0.
         """
         live = [r for r in records.values() if not r.done]
         predictor = getattr(self.policy, "predictor", None)
@@ -308,20 +326,22 @@ class StagedInferenceRuntime:
                 list(views.values()),
                 len(live) - depth,
                 predictor=predictor,
-                now=0.0,
+                now=now,
+                stage_time_s=stage_time_s,
                 policy=admission.shed_policy,
             )
             for tid in to_shed:
                 record = records[tid]
                 record.shed = True
-                record.finish_time = 0.0
+                record.finish_time = now
                 if tel is not None:
                     tel.registry.counter("runtime.tasks_shed").inc()
                     tel.trace.load_shed(
-                        0.0,
+                        now,
                         tid,
                         expected_utility=expected_utility(
-                            views[tid], predictor, now=0.0
+                            views[tid], predictor, now=now,
+                            stage_time_s=stage_time_s,
                         ),
                     )
             live = [r for r in live if not r.shed]
@@ -335,7 +355,8 @@ class StagedInferenceRuntime:
                 views,
                 len(live) - degrade_depth,
                 predictor=predictor,
-                now=0.0,
+                now=now,
+                stage_time_s=stage_time_s,
                 policy=admission.shed_policy,
             )
             for tid in to_degrade:
@@ -343,7 +364,7 @@ class StagedInferenceRuntime:
                 if tel is not None:
                     tel.registry.counter("runtime.tasks_degraded").inc()
                     tel.trace.degrade_cap(
-                        0.0, tid, stage_cap=admission.degrade_stage_cap
+                        now, tid, stage_cap=admission.degrade_stage_cap
                     )
 
     # ------------------------------------------------------------------
@@ -382,7 +403,11 @@ class StagedInferenceRuntime:
                 tel.trace.admit(0.0, tid, deadline=cfg.latency_constraint)
 
         if cfg.admission is not None and cfg.admission.bounded:
-            self._apply_admission(records, cfg.admission, tel)
+            # Scored at the runtime's actual clock (non-zero once model
+            # warm-up and record setup have run), not a hard-coded t=0.
+            self._apply_admission(
+                records, cfg.admission, tel, now=time.monotonic() - t0
+            )
 
         def worker_loop() -> None:
             while not stop.is_set():
@@ -439,7 +464,21 @@ class StagedInferenceRuntime:
                 )
 
         def evict_task(record: TaskRecord, now: float) -> None:
-            """Mark one task deadline-evicted; trace it.  Lock held."""
+            """Close one task whose latency constraint expired.  Lock held.
+
+            Under the anytime contract a task holding at least one stage
+            result is *served* best-so-far at the deadline (degraded, never
+            late); only a task with nothing computed is a deadline miss.
+            """
+            if cfg.anytime and record.outcomes:
+                record.finalize_anytime(now)
+                if tel is not None:
+                    tel.registry.counter("runtime.anytime_served").inc()
+                    tel.trace.degraded(
+                        record.finish_time, record.task_id,
+                        record.outcomes[-1].stage,
+                    )
+                return
             record.evicted = True
             record.finish_time = now
             if tel is not None:
@@ -577,6 +616,34 @@ class StagedInferenceRuntime:
                 if not candidates:
                     break
                 fresh = self.policy.plan(candidates, now)
+                # Gen-2 preemption: freshly planned budgets tighten stage
+                # caps (no-op for gen-1 policies).  A task revoked down to
+                # its executed frontier is complete as of now.  The runtime
+                # has no admission queue, so "contended" is the planner's
+                # own capacity deficit: stages demanded but not fundable.
+                preempted = apply_stage_budgets(
+                    self.policy,
+                    records,
+                    now,
+                    tel,
+                    scope="runtime",
+                    contended=bool(
+                        getattr(
+                            getattr(self.policy, "last_plan", None),
+                            "contended",
+                            True,
+                        )
+                    ),
+                )
+                for ptid in preempted:
+                    revoked = records[ptid]
+                    if revoked.complete and revoked.finish_time is None:
+                        revoked.finish_time = now
+                        if tel is not None:
+                            tel.registry.counter("runtime.tasks_completed").inc()
+                            tel.trace.complete(
+                                now, ptid, stages_done=revoked.stages_done
+                            )
                 if not fresh:
                     break
                 timeline.extend(fresh)
@@ -712,7 +779,10 @@ class StagedInferenceRuntime:
                     for i, tid in enumerate(tids):
                         in_flight.pop(tid, None)
                         record = records[tid]
-                        if record.evicted:
+                        if record.done:
+                            # Evicted, shed, or already served best-so-far
+                            # by the anytime contract: a late stage result
+                            # must never be appended after the response.
                             continue
                         if now > record.deadline:
                             # The stage finished after the latency constraint
@@ -758,6 +828,7 @@ class StagedInferenceRuntime:
                     elapsed=float(elapsed),
                     completed=record.fully_complete,
                     shed=record.shed,
+                    anytime_served=record.anytime_served,
                 )
             )
         self._inputs = []

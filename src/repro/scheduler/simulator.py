@@ -28,6 +28,7 @@ import numpy as np
 
 from .. import telemetry
 from ..admission import AdmissionConfig, TokenBucket, expected_utility, select_shed
+from .gen2 import apply_stage_budgets
 from .policies import PlanItem, SchedulingPolicy
 from .task import StageOutcome, TaskRecord, TaskView
 
@@ -97,6 +98,12 @@ class SimulationConfig:
     #: and sheds/degrades excess work.  ``None`` (default) keeps the
     #: unbounded legacy behaviour bit-for-bit.
     admission: Optional[AdmissionConfig] = None
+    #: anytime-inference contract (gen-2 imprecise computations): a task
+    #: whose deadline fires with at least one completed stage is *served*
+    #: its best-so-far early-exit result exactly at the deadline (degraded,
+    #: never late) instead of being evicted; only tasks holding nothing
+    #: still miss.  ``False`` (default) keeps the legacy eviction.
+    anytime: bool = False
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -191,6 +198,39 @@ class EpisodeResult:
     def num_degraded(self) -> int:
         """Tasks served under a degrade-mode stage cap."""
         return sum(1 for r in self.records if r.stage_cap is not None and not r.shed)
+
+    @property
+    def num_anytime_served(self) -> int:
+        """Tasks the anytime contract served best-so-far at their deadline."""
+        return sum(1 for r in self.records if r.anytime_served)
+
+    @property
+    def num_late(self) -> int:
+        """Served answers delivered *after* their deadline.
+
+        The anytime contract promises this is zero: a deadline-constrained
+        task either responds by its deadline or counts as a miss — never
+        both late and served.
+        """
+        return sum(
+            1
+            for r in self.records
+            if r.outcomes
+            and not r.evicted
+            and not r.shed
+            and r.finish_time is not None
+            and r.finish_time > r.deadline + 1e-9
+        )
+
+    @property
+    def mean_served_stage(self) -> float:
+        """Average 0-based stage index answers were served from."""
+        stages = [
+            r.outcomes[-1].stage
+            for r in self.records
+            if r.outcomes and not r.evicted and not r.shed
+        ]
+        return float(np.mean(stages)) if stages else float("nan")
 
     @property
     def num_served(self) -> int:
@@ -483,19 +523,41 @@ class PoolSimulator:
             record = active.pop(tid, None)
             if record is None:
                 return
-            record.evicted = evicted
-            record.finish_time = now
-            if tel is not None:
-                if evicted:
-                    tel.registry.counter("simulator.deadline_misses").inc()
-                    tel.trace.deadline_miss(now, tid, deadline=record.deadline)
-                    tel.trace.evict(now, tid, stages_done=record.stages_done)
-                else:
+            if evicted and cfg.anytime and record.outcomes:
+                # Anytime contract: the deadline fired with stages in hand —
+                # serve the best-so-far early exit exactly at the deadline
+                # (never late) instead of evicting.
+                record.finalize_anytime(now)
+                if tel is not None:
+                    tel.registry.counter("simulator.anytime_served").inc()
+                    tel.trace.degraded(
+                        record.finish_time, tid, record.outcomes[-1].stage
+                    )
                     tel.registry.counter("simulator.tasks_completed").inc()
-                    tel.trace.complete(now, tid, stages_done=record.stages_done)
+                    tel.trace.complete(
+                        record.finish_time, tid, stages_done=record.stages_done
+                    )
+            else:
+                record.evicted = evicted
+                record.finish_time = now
+                if tel is not None:
+                    if evicted:
+                        tel.registry.counter("simulator.deadline_misses").inc()
+                        tel.trace.deadline_miss(now, tid, deadline=record.deadline)
+                        tel.trace.evict(now, tid, stages_done=record.stages_done)
+                    else:
+                        tel.registry.counter("simulator.tasks_completed").inc()
+                        tel.trace.complete(now, tid, stages_done=record.stages_done)
+            if replan_on_events:
+                # Gen-2: a completion changes the joint budget picture;
+                # drop the stale timeline so the next dispatch re-plans.
+                timeline.clear()
             admit(now)
 
         in_flight: set = set()  # task ids with a stage currently executing
+        #: gen-2 policies re-plan their joint budgets on every arrival and
+        #: completion; gen-1 policies keep the cheaper drain-then-replan.
+        replan_on_events = bool(getattr(self.policy, "plans_stage_budgets", False))
 
         def next_item(now: float) -> Optional[PlanItem]:
             """Pop the next valid work item, replanning at most once.
@@ -524,6 +586,30 @@ class PoolSimulator:
                         if not r.done and r.task_id not in in_flight
                     ]
                     timeline = deque(self.policy.plan(views, now))
+                    # Gen-2 preemption: apply the freshly planned budgets as
+                    # tightening-only stage caps (no-op for gen-1 policies).
+                    # Caps pay through slot turnover, so they apply only
+                    # while somebody is actually waiting for admission.
+                    preempted = apply_stage_budgets(
+                        self.policy,
+                        active,
+                        now,
+                        tel,
+                        scope="simulator",
+                        contended=bool(waiting_ids(now)),
+                    )
+                    for ptid in preempted:
+                        revoked = active.get(ptid)
+                        # Revoked down to its already-executed frontier: the
+                        # task is complete *now* — retire it immediately so
+                        # its concurrency slot turns over instead of idling
+                        # until the deadline daemon fires.
+                        if (
+                            revoked is not None
+                            and revoked.complete
+                            and ptid not in in_flight
+                        ):
+                            retire(ptid, now, evicted=False)
                     if not timeline:
                         return None
             return None
@@ -571,7 +657,7 @@ class PoolSimulator:
                 record = records[tid]
                 if failed:
                     pass  # time was spent, no result; task stays schedulable
-                elif not record.evicted and now <= record.deadline + 1e-12:
+                elif not record.done and now <= record.deadline + 1e-12:
                     oracle = self.oracles[tid]
                     previous_conf = record.latest_confidence or 0.0
                     record.outcomes.append(
@@ -598,8 +684,17 @@ class PoolSimulator:
                     # Daemon eviction: task leaves with whatever stages ran.
                     makespan = max(makespan, now)
                     retire(tid, now, evicted=True)
+                elif tid in active and record.done:
+                    # Safety net: completed (e.g. revoked to its executed
+                    # frontier) but never retired — close it on time.
+                    makespan = max(makespan, now)
+                    retire(tid, now, evicted=False)
                 dispatch(now)
             elif kind == _ARRIVAL:
+                if replan_on_events:
+                    # Gen-2: a new arrival may out-bid in-progress optional
+                    # stages — force a fresh joint budget plan.
+                    timeline.clear()
                 admit(now)
                 dispatch(now)
 

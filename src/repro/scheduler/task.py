@@ -40,8 +40,13 @@ class TaskRecord:
     #: dropped by admission control before receiving any service (overload
     #: shedding) — distinct from ``evicted``, which is a deadline miss.
     shed: bool = False
-    #: degrade-before-drop: the task will be served only up to this stage
-    #: (exclusive upper bound on stage count); ``None`` = full service.
+    #: served by the anytime contract: the best already-computed stage
+    #: result was returned at the deadline instead of evicting the task.
+    anytime_served: bool = False
+    #: degrade-before-drop / gen-2 preemption: the task will be served only
+    #: up to this stage (exclusive upper bound on stage count); ``None`` =
+    #: full service.  Assignments are **tightening-only** — the property
+    #: installed below this class enforces ``min(old, new)`` in one place.
     stage_cap: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -49,8 +54,23 @@ class TaskRecord:
             raise ValueError("deadline must be after arrival")
         if self.num_stages < 1:
             raise ValueError("a task needs at least one stage")
-        if self.stage_cap is not None and self.stage_cap < 1:
+
+    def _get_stage_cap(self) -> Optional[int]:
+        return self._stage_cap
+
+    def _set_stage_cap(self, value: Optional[int]) -> None:
+        """Tightening-only: a later degrade/preemption pass must never
+        *raise* a previously assigned lower cap (``min(old, new)`` enforced
+        here, the single authoritative place).  Assigning ``None`` is a
+        no-op — a granted cap cannot be loosened back to full service.
+        """
+        old = getattr(self, "_stage_cap", None)
+        if value is None:
+            self._stage_cap = old
+            return
+        if value < 1:
             raise ValueError("stage_cap must be >= 1 when given")
+        self._stage_cap = int(value) if old is None else min(old, int(value))
 
     @property
     def effective_stages(self) -> int:
@@ -104,6 +124,21 @@ class TaskRecord:
             return False
         return bool(self.outcomes[-1].correct)
 
+    def finalize_anytime(self, now: float) -> None:
+        """Close the task under the anytime contract at its deadline.
+
+        The best already-computed stage becomes the served answer: the cap
+        tightens to what actually ran (so ``complete`` holds), and the
+        response is stamped at the deadline itself — a deadline-constrained
+        ``infer()`` is *never late*, even if the daemon noticed after the
+        fact.  Callers must guarantee ``outcomes`` is non-empty.
+        """
+        if not self.outcomes:
+            raise ValueError("anytime finalize needs at least one outcome")
+        self.stage_cap = self.stages_done
+        self.anytime_served = True
+        self.finish_time = min(now, self.deadline)
+
     def view(self) -> "TaskView":
         # Policies see the cap-aware stage count, so a degraded task is
         # never planned past its early exit.
@@ -115,6 +150,13 @@ class TaskRecord:
             stages_done=self.stages_done,
             confidences=tuple(o.confidence for o in self.outcomes),
         )
+
+
+# The dataclass-generated ``__init__``/``__repr__``/``__eq__`` captured the
+# plain ``stage_cap`` field above; replacing the class attribute with a
+# property afterwards routes *every* assignment — constructor included —
+# through the tightening-only setter, so no call site can loosen a cap.
+TaskRecord.stage_cap = property(TaskRecord._get_stage_cap, TaskRecord._set_stage_cap)
 
 
 @dataclass(frozen=True)

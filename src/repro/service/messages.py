@@ -302,6 +302,11 @@ class InferRequest:
     #: in-runtime queue, shedding or degrading the lowest-expected-utility
     #: tasks of this batch.  ``None`` (default) = serve everything.
     admission: Optional[AdmissionConfig] = None
+    #: anytime-inference contract (gen-2 imprecise computations): a task
+    #: whose latency constraint expires with at least one completed stage
+    #: is served its best-so-far early-exit result at the deadline —
+    #: degraded, never late, never evicted-with-an-answer-in-hand.
+    anytime: bool = False
     #: multi-tenant attribution/quota id; ``None`` = un-tenanted.
     tenant: Optional[str] = None
 
@@ -347,6 +352,9 @@ class InferResponse:
     #: per task: dropped by admission control before any service (overload
     #: shedding) — shed tasks have no prediction and are never ``evicted``.
     shed: List[bool] = field(default_factory=list)
+    #: per task: the anytime contract served this task's best-so-far early
+    #: exit at its deadline (implies ``degraded``; excludes ``evicted``).
+    anytime_served: List[bool] = field(default_factory=list)
 
 
 @dataclass

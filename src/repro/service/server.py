@@ -534,6 +534,7 @@ class EugeneService:
                 # the constraint — this bounds quiesce time under faults.
                 item_timeout=min(5.0, request.latency_constraint_s),
                 admission=request.admission,
+                anytime=request.anytime,
             ),
         )
         runtime.submit(request.inputs)
@@ -547,7 +548,9 @@ class EugeneService:
             for r in results:
                 if r.degraded:
                     tel.registry.counter("service.degraded_responses").inc()
-                    tel.trace.degraded(0.0, r.task_id, r.served_stage)
+                    # Stamped at the task's episode-relative finish time,
+                    # not a hard-coded t=0.
+                    tel.trace.degraded(r.elapsed, r.task_id, r.served_stage)
         return InferResponse(
             predictions=[r.prediction for r in results],
             confidences=[r.confidence for r in results],
@@ -562,4 +565,5 @@ class EugeneService:
             degraded=[r.degraded for r in results],
             served_stage=[r.served_stage for r in results],
             shed=[r.shed for r in results],
+            anytime_served=[r.anytime_served for r in results],
         )

@@ -1,0 +1,286 @@
+"""Unit tests for the gen-2 imprecise-computation scheduler.
+
+Covers the joint stage-budget planner (mandatory pass, density auction,
+capacity ledger), optional-stage preemption via tightening-only caps, and
+the `Gen2Policy` drop-in behaviour inside the discrete-event simulator.
+"""
+
+import pytest
+
+from repro.scheduler import (
+    EDFPolicy,
+    FIFOPolicy,
+    Gen2Policy,
+    PoolSimulator,
+    SimulationConfig,
+    StageBudgetPlanner,
+    TaskOracle,
+    apply_stage_budgets,
+    poisson_arrivals,
+)
+from repro.scheduler.gen2 import StageBid, _CapacityLedger
+from repro.scheduler.task import StageOutcome, TaskRecord, TaskView
+
+
+class StubPredictor:
+    """Deterministic confidence curves: per-task ceiling scaled by stage.
+
+    ``prior``/``predict`` rise linearly toward 1.0 with the stage index —
+    enough structure for density ordering to be meaningful and exact.
+    """
+
+    num_stages = 3
+
+    def baseline(self):
+        return 0.1
+
+    def prior(self, stage):
+        return 0.3 + 0.2 * stage  # 0.3, 0.5, 0.7
+
+    def predict(self, observed_stage, observed_conf, target_stage):
+        # Gains proportional to the held confidence: a task already doing
+        # well refines faster, so density ordering is strict and exact.
+        return min(
+            1.0, observed_conf * (1.0 + 0.2 * (target_stage - observed_stage))
+        )
+
+
+def view(tid, deadline, stages_done=0, confidences=(), now_arrival=0.0):
+    return TaskView(
+        task_id=tid,
+        arrival_time=now_arrival,
+        deadline=deadline,
+        num_stages=3,
+        stages_done=stages_done,
+        confidences=tuple(confidences),
+    )
+
+
+def mkrecord(tid, deadline, stages_done=0):
+    r = TaskRecord(
+        task_id=tid, arrival_time=0.0, deadline=deadline, num_stages=3
+    )
+    for s in range(stages_done):
+        r.outcomes.append(StageOutcome(stage=s, prediction=0, confidence=0.5))
+    return r
+
+
+class TestCapacityLedger:
+    def test_funds_up_to_worker_time(self):
+        ledger = _CapacityLedger(num_workers=1, now=0.0)
+        assert ledger.try_add(2.0, 1.0)
+        assert ledger.try_add(2.0, 1.0)
+        # 2 seconds of demand by t=2 on one worker: a third does not fit.
+        assert not ledger.try_add(2.0, 1.0)
+
+    def test_earlier_deadline_constrains_later_ones(self):
+        ledger = _CapacityLedger(num_workers=1, now=0.0)
+        assert ledger.try_add(1.0, 1.0)
+        # The second stage is due later, but cumulative load by t=1.5 would
+        # be 2.0 > 1.5 worker-seconds: infeasible.
+        assert not ledger.try_add(1.5, 1.0)
+        assert ledger.try_add(3.0, 1.0)
+
+    def test_expired_deadline_never_funded(self):
+        ledger = _CapacityLedger(num_workers=2, now=5.0)
+        assert not ledger.try_add(5.0, 0.5)
+        assert ledger.try_add(6.0, 0.5)
+
+
+class TestStageBudgetPlanner:
+    def planner(self, workers=2):
+        return StageBudgetPlanner(
+            predictor=StubPredictor(), num_workers=workers, stage_time_s=1.0
+        )
+
+    def test_uncontended_pool_funds_everything(self):
+        plan = self.planner().plan_budgets(
+            [view(0, deadline=30.0), view(1, deadline=40.0)], now=0.0
+        )
+        assert plan.budgets == {0: 3, 1: 3}
+        assert plan.funded == plan.demanded == 6
+        assert not plan.contended
+
+    def test_mandatory_prefixes_fund_before_any_optional_stage(self):
+        # One worker, everything due at t=2: capacity for exactly two
+        # stages.  Both mandatory stage-0s must fund — not one task's
+        # stage 0 + stage 1.
+        plan = self.planner(workers=1).plan_budgets(
+            [view(0, deadline=2.0), view(1, deadline=2.0)], now=0.0
+        )
+        assert plan.budgets == {0: 1, 1: 1}
+        assert plan.contended
+        assert [stage for _, stage in plan.order] == [0, 0]
+
+    def test_optional_capacity_goes_to_highest_density(self):
+        # Both tasks hold their mandatory stage; one worker-second funds
+        # exactly one optional stage.  Task 1 already holds 0.8 -> its
+        # stage-1 gain under the stub is larger, so it wins the auction.
+        plan = self.planner(workers=1).plan_budgets(
+            [
+                view(0, deadline=1.0, stages_done=1, confidences=(0.3,)),
+                view(1, deadline=1.0, stages_done=1, confidences=(0.8,)),
+            ],
+            now=0.0,
+        )
+        assert plan.budgets[1] == 2
+        assert plan.budgets[0] == 1
+
+    def test_infeasible_task_keeps_only_executed_stages(self):
+        plan = self.planner().plan_budgets(
+            [
+                view(0, deadline=0.5, stages_done=1, confidences=(0.6,)),
+                view(1, deadline=30.0),
+            ],
+            now=0.0,
+        )
+        # Half a second of slack cannot fit a 1-second stage: nothing new
+        # is funded, but the executed stage is owned unconditionally.
+        assert plan.budgets[0] == 1
+        assert plan.budgets[1] == 3
+
+    def test_budgets_never_below_executed_stages(self):
+        plan = self.planner(workers=1).plan_budgets(
+            [
+                view(0, deadline=1.0, stages_done=2, confidences=(0.4, 0.5)),
+                view(1, deadline=1.0),
+            ],
+            now=0.0,
+        )
+        assert plan.budgets[0] >= 2
+
+    def test_mandatory_pass_is_edf_ordered(self):
+        # One worker, one second of capacity before the earliest deadline:
+        # the urgent task's prefix funds, the relaxed one also fits later.
+        plan = self.planner(workers=1).plan_budgets(
+            [view(0, deadline=10.0), view(1, deadline=1.0)], now=0.0
+        )
+        mandatory = [tid for tid, stage in plan.order if stage == 0]
+        assert mandatory[0] == 1
+
+
+class TestApplyStageBudgets:
+    def test_noop_for_gen1_policies(self):
+        records = {0: mkrecord(0, deadline=10.0)}
+        assert apply_stage_budgets(FIFOPolicy(), records, now=0.0) == []
+        assert records[0].stage_cap is None
+
+    def test_revokes_optional_stages_only(self):
+        policy = Gen2Policy(predictor=StubPredictor(), num_workers=1)
+        policy.last_budgets = {0: 1}
+        records = {0: mkrecord(0, deadline=10.0)}
+        preempted = apply_stage_budgets(policy, records, now=0.0)
+        assert preempted == [0]
+        assert records[0].stage_cap == 1
+        assert records[0].effective_stages == 1
+
+    def test_cap_floors_at_executed_stages(self):
+        policy = Gen2Policy(predictor=StubPredictor(), num_workers=1)
+        policy.last_budgets = {0: 1}
+        records = {0: mkrecord(0, deadline=10.0, stages_done=2)}
+        apply_stage_budgets(policy, records, now=0.0)
+        # Already ran two stages: the budget of one is floored to two —
+        # executed work is never revoked.
+        assert records[0].stage_cap == 2
+        assert records[0].complete
+
+    def test_uncontended_budgets_are_not_applied(self):
+        policy = Gen2Policy(predictor=StubPredictor(), num_workers=1)
+        policy.last_budgets = {0: 1}
+        records = {0: mkrecord(0, deadline=10.0)}
+        preempted = apply_stage_budgets(
+            policy, records, now=0.0, contended=False
+        )
+        assert preempted == []
+        assert records[0].stage_cap is None
+
+    def test_preempt_false_publishes_no_budgets(self):
+        policy = Gen2Policy(
+            predictor=StubPredictor(), num_workers=1, preempt=False
+        )
+        policy.plan([view(0, deadline=2.0), view(1, deadline=2.0)], now=0.0)
+        assert policy.last_budgets is None
+        records = {0: mkrecord(0, deadline=2.0)}
+        assert apply_stage_budgets(policy, records, now=0.0) == []
+
+
+class TestGen2Policy:
+    def test_is_a_drop_in_policy(self):
+        policy = Gen2Policy(predictor=StubPredictor(), num_workers=2)
+        order = policy.plan(
+            [view(0, deadline=30.0), view(1, deadline=40.0)], now=0.0
+        )
+        assert policy.plans_stage_budgets
+        assert policy.last_budgets == {0: 3, 1: 3}
+        assert set(tid for tid, _ in order) == {0, 1}
+        # Stages per task appear in execution order.
+        for tid in (0, 1):
+            stages = [s for t, s in order if t == tid]
+            assert stages == sorted(stages)
+
+    def test_gen1_policies_do_not_plan_budgets(self):
+        assert not EDFPolicy().plans_stage_budgets
+        assert not FIFOPolicy().plans_stage_budgets
+
+
+class TestGen2InSimulator:
+    def episode(self, load=3.0, num_tasks=40, seed=0):
+        num_workers = 2
+        oracles = [
+            TaskOracle(
+                confidences=(0.4, 0.6, 0.8),
+                predictions=(1, 1, 1),
+                correct=(True, True, True),
+            )
+            for _ in range(num_tasks)
+        ]
+        capacity = num_workers / 3.0
+        arrivals = poisson_arrivals(num_tasks, rate=load * capacity, seed=seed)
+        config = SimulationConfig(
+            num_workers=num_workers,
+            concurrency=8,
+            stage_times=(1.0, 1.0, 1.0),
+            latency_constraint=6.0,
+            anytime=True,
+        )
+        policy = Gen2Policy(
+            predictor=StubPredictor(), num_workers=num_workers, stage_time_s=1.0
+        )
+        return PoolSimulator(
+            oracles, policy, config, arrival_times=arrivals
+        ).run()
+
+    def test_overload_episode_serves_everyone_on_time(self):
+        result = self.episode()
+        assert result.num_late == 0
+        served = [
+            r
+            for r in result.records
+            if r.outcomes and not r.evicted and not r.shed
+        ]
+        assert len(served) == result.num_tasks  # nobody starves at 3x load
+        # Every response carries at least the mandatory prefix.
+        assert min(r.stages_done for r in served) >= 1
+
+    def test_preempted_tasks_complete_within_their_tightened_cap(self):
+        result = self.episode()
+        for r in result.records:
+            if r.stage_cap is not None:
+                assert r.stages_done <= r.stage_cap
+        # Preemption actually happened at 3x overload.
+        assert any(r.stage_cap is not None for r in result.records)
+
+    def test_anytime_serves_are_stamped_at_or_before_deadline(self):
+        result = self.episode()
+        for r in result.records:
+            if r.anytime_served:
+                assert r.finish_time <= r.deadline + 1e-9
+                assert r.outcomes
+
+
+class TestStageBid:
+    def test_density_is_gain_per_cost(self):
+        bid = StageBid(
+            task_id=0, stage=1, gain=0.3, cost=2.0, deadline=5.0, mandatory=False
+        )
+        assert bid.density == pytest.approx(0.15)

@@ -239,6 +239,45 @@ class TestInferEndpoint:
         with pytest.raises(ValueError):
             InferRequest(model_id="m1", inputs=np.zeros((1, 3, 8, 8)), lookahead=0)
 
+    def test_anytime_contract_over_the_wire(self, service_with_model):
+        # Under a tight constraint with ``anytime`` set, a task that ran at
+        # least one stage is never evicted — it is served best-so-far and
+        # flagged in ``anytime_served``.
+        service, trained = service_with_model
+        test_set = make_image_dataset(32, DATA_CFG, seed=22)
+        response = service.infer(
+            InferRequest(
+                model_id=trained.model_id,
+                inputs=test_set.inputs,
+                latency_constraint_s=0.02,
+                anytime=True,
+            )
+        )
+        assert len(response.anytime_served) == 32
+        for served, evicted, stages, degraded in zip(
+            response.anytime_served,
+            response.evicted,
+            response.stages_executed,
+            response.degraded,
+        ):
+            if stages >= 1:
+                assert not evicted  # computed work is always delivered
+            if served:
+                assert stages >= 1
+                assert degraded
+
+    def test_anytime_defaults_off(self, service_with_model):
+        service, trained = service_with_model
+        test_set = make_image_dataset(4, DATA_CFG, seed=23)
+        response = service.infer(
+            InferRequest(
+                model_id=trained.model_id,
+                inputs=test_set.inputs,
+                latency_constraint_s=30.0,
+            )
+        )
+        assert response.anytime_served == [False] * 4
+
 
 class TestClientAndEdgeDevice:
     def test_client_roundtrip(self, service_with_model):
